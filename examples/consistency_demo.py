@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Why code-centric consistency matters (paper sections 2.2, 3.4, 4.5).
+
+Three demonstrations on real simulated memory:
+
+1. Figure 3 — word tearing: two aligned 2-byte stores merged through
+   page-twinning store buffers produce 0xABCD, a value no thread wrote.
+2. Figure 11 — canneal: atomic swaps through a PTSB without consistency
+   callbacks (Sheriff) lose/duplicate grid elements; TMI flushes and
+   bypasses the PTSB around the inline-assembly region and stays
+   correct.
+3. Figure 12 — cholesky: volatile-flag synchronization spins forever on
+   a stale private page under Sheriff; TMI honors the volatile access
+   and completes.
+
+Run:  python examples/consistency_demo.py
+"""
+
+from repro.core.ptsb import PageTwinningStoreBuffer
+from repro.engine import Engine
+from repro.engine.thread import SimProcess
+from repro.eval import run_workload
+from repro.sim.addrspace import AddressSpace, Backing
+from repro.sim.machine import Machine
+from repro.workloads import get
+
+
+def demo_word_tearing():
+    print("1. Figure 3: aligned multi-byte store atomicity (AMBSA)")
+    machine = Machine(n_cores=2)
+    aspace = AddressSpace(machine.physmem, machine.costs)
+    backing = Backing(machine.physmem, 4096, "app", file_backed=True)
+    aspace.mmap(0x4000_0000, 4096, backing, name="heap")
+    p0 = SimProcess(pid=1, aspace=aspace)
+    p1 = SimProcess(pid=2, aspace=aspace.fork("p2"))
+    ptsb0 = PageTwinningStoreBuffer(p0, machine, machine.costs)
+    ptsb1 = PageTwinningStoreBuffer(p1, machine, machine.costs)
+    x = 0x4000_0000 + 128
+    for proc in (p0, p1):
+        proc.aspace.protect_page(x)
+
+    machine.physmem.write_int(p0.aspace.translate(x, 2, True).pa,
+                              0xAB00, 2)
+    machine.physmem.write_int(p1.aspace.translate(x, 2, True).pa,
+                              0x00CD, 2)
+    ptsb0.commit(0, "unlock")
+    ptsb1.commit(1, "unlock")
+    final = machine.physmem.read_int(backing.base_pa + 128, 2)
+    print("   thread 0 stored 0xAB00, thread 1 stored 0x00CD")
+    print(f"   merged result: {final:#06x}  "
+          f"{'<- a value NO thread wrote!' if final == 0xABCD else ''}")
+    print()
+
+
+def demo_canneal():
+    print("2. Figure 11: canneal's atomic swaps (inline assembly)")
+    for system in ("pthreads", "sheriff-detect", "tmi-detect"):
+        workload = get("canneal", scale=0.3)
+        workload.footprint = 64 * 1024 * 1024      # simlarge input
+        from repro.eval.systems import make_runtime
+        engine = Engine(workload.build(), make_runtime(system))
+        result = engine.run()
+        verdict = "grid intact" if result.validated else \
+            f"CORRUPTED ({result.error.split('(')[0].strip()})"
+        print(f"   {system:16} -> {verdict}")
+    print()
+
+
+def demo_cholesky():
+    print("3. Figure 12: cholesky's volatile flag")
+    for system in ("pthreads", "sheriff-protect", "tmi-protect"):
+        outcome = run_workload("cholesky", system)
+        if outcome.status == "hang":
+            verdict = f"HANGS ({outcome.detail})"
+        else:
+            verdict = "completes"
+        print(f"   {system:16} -> {verdict}")
+    print()
+    print("TMI's code-centric consistency flushes and disables the")
+    print("PTSB around atomic/assembly regions and honors volatile")
+    print("accesses with the SC semantics the programmer intended,")
+    print("so both programs behave correctly while repair stays on.")
+
+
+if __name__ == "__main__":
+    demo_word_tearing()
+    demo_canneal()
+    demo_cholesky()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""The paper's real-world case study: leveldb with an injected bug.
+
+Section 4.3: each leveldb worker keeps per-thread operation counters;
+the injected bug packs them into one cache line.  TMI detects the false
+sharing online, converts threads to processes, and protects the counter
+page — recovering most of the manual fix's speedup with no source
+change and no downtime.
+
+Run:  python examples/leveldb_repair.py [scale]
+"""
+
+import sys
+
+from repro.eval import run_workload
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+
+    print(f"leveldb (injected false sharing bug), scale={scale}")
+    print()
+
+    base = run_workload("leveldb-fs", "pthreads", scale=scale)
+    manual = run_workload("leveldb-fs", "manual", scale=scale)
+    tmi = run_workload("leveldb-fs", "tmi-protect", scale=scale)
+    sheriff = run_workload("leveldb-fs", "sheriff-protect", scale=scale)
+
+    rows = [
+        ("pthreads (buggy)", base, 1.0),
+        ("manual fix", manual,
+         base.result.cycles / manual.result.cycles),
+        ("TMI online repair", tmi,
+         base.result.cycles / tmi.result.cycles),
+    ]
+    print(f"{'system':22} {'runtime':>12} {'speedup':>8}  notes")
+    for label, outcome, speedup in rows:
+        ms = outcome.result.seconds * 1e3
+        print(f"{label:22} {ms:10.2f}ms {speedup:7.2f}x")
+    print(f"{'Sheriff':22} {'--':>12} {'--':>8}  {sheriff.status}: "
+          f"{sheriff.detail}")
+
+    report = tmi.result.runtime_report
+    print()
+    print("TMI repair characterization (Table 3 style):")
+    print(f"  unrepaired intervals : {report['unrepaired_intervals']}")
+    print(f"  T2P latency          : {report['t2p_us']:.1f} us")
+    print(f"  commits/interval     : {report['commits_per_interval']}")
+    print(f"  sharing summary      : {report['sharing_summary']}")
+    print()
+    tmi_speedup = base.result.cycles / tmi.result.cycles
+    manual_speedup = base.result.cycles / manual.result.cycles
+    print(f"TMI captures {100 * tmi_speedup / manual_speedup:.0f}% of "
+          "the manual fix (paper: 88%), with the database online the "
+          "whole time.")
+
+    # the un-injected leveldb: mostly true sharing, nothing to repair
+    clean = run_workload("leveldb", "tmi-protect", scale=scale)
+    summary = clean.result.runtime_report["sharing_summary"]
+    print()
+    print("stock leveldb under TMI (no injected bug):")
+    print(f"  sharing summary      : {summary}")
+    print(f"  repaired             : "
+          f"{clean.result.runtime_report['repaired']}")
+    print("  (the paper: leveldb's HITM traffic is dominated by true "
+          "sharing on the writer queue, so TMI leaves it alone)")
+
+
+if __name__ == "__main__":
+    main()

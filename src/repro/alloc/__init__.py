@@ -1,0 +1,8 @@
+"""Memory allocators: Lockless-style baseline and TMI's shared-region
+configuration."""
+
+from repro.alloc.lockless import (CHUNK_BYTES, LocklessAllocator,
+                                  RegionBump, SIZE_CLASSES)
+
+__all__ = ["CHUNK_BYTES", "LocklessAllocator", "RegionBump",
+           "SIZE_CLASSES"]

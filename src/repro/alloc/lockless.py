@@ -1,0 +1,159 @@
+"""Size-class memory allocator in the style of the Lockless Allocator.
+
+The paper's baseline runs all benchmarks with the Lockless Allocator
+(16% faster than glibc's on their suite); TMI replaces the allocator's
+requests for system memory with memory from its process-shared region
+(``tmi-alloc`` in Figure 7).  Placement policy matters for the repair
+experiments:
+
+- the baseline allocator returns 16-byte alignment for large blocks, so
+  a large array is generally *not* cache-line aligned — this is the
+  "mis-aligned allocation" the paper forces to expose false sharing in
+  linear-regression and lu-ncb;
+- TMI's shared-region allocator rounds large blocks to 64 bytes, which
+  is why lu-ncb's false sharing is repaired by the allocator change
+  alone (section 4.3).
+"""
+
+from repro.errors import AllocationError
+from repro.sim.costs import LINE_SIZE
+
+#: Small-object size classes (bytes).
+SIZE_CLASSES = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+#: Arena chunk carved from the region per (thread, class) refill.
+CHUNK_BYTES = 64 * 1024
+
+
+class RegionBump:
+    """Bump-pointer suballocator over one virtual region."""
+
+    def __init__(self, base, size, name=""):
+        self.base = base
+        self.size = size
+        self.name = name
+        self._next = base
+
+    def take(self, nbytes, align=LINE_SIZE):
+        addr = (self._next + align - 1) & ~(align - 1)
+        if addr + nbytes > self.base + self.size:
+            raise AllocationError(
+                f"region {self.name} exhausted "
+                f"({addr + nbytes - self.base:#x} > {self.size:#x})")
+        self._next = addr + nbytes
+        return addr
+
+    @property
+    def used(self):
+        return self._next - self.base
+
+
+class LocklessAllocator:
+    """Per-thread-arena size-class allocator.
+
+    ``global_arena=True`` gives the glibc-style configuration: one
+    shared arena protected by a (modelled) global lock, with the extra
+    per-op cost and cross-thread interleaving that implies.
+
+    ``line_align_large`` / ``large_offset`` control large-object
+    placement (see module docstring).
+    """
+
+    def __init__(self, region, costs, name="lockless",
+                 global_arena=False, line_align_large=False,
+                 large_offset=16):
+        self.region = region
+        self.costs = costs
+        self.name = name
+        self.global_arena = global_arena
+        self.line_align_large = line_align_large
+        self.large_offset = 0 if line_align_large else large_offset
+        self._arenas = {}          # arena key -> {class -> [free addrs]}
+        self._bumps = {}           # arena key -> {class -> (next, end)}
+        self._live = {}            # addr -> (size, size_class or None)
+        self.allocated_bytes = 0   # live bytes
+        self.peak_bytes = 0
+        self.alloc_calls = 0
+        self.free_calls = 0
+
+    # ------------------------------------------------------------------
+    def malloc(self, tid, size, align=0):
+        """Allocate; returns ``(addr, cycles)``."""
+        if size <= 0:
+            raise AllocationError(f"malloc({size})")
+        self.alloc_calls += 1
+        cost = self.costs.alloc_fast
+        if self.global_arena:
+            cost += self.costs.glibc_alloc_extra
+        size_class = self._class_for(size, align)
+        if size_class is None:
+            addr, slow = self._large(size, align)
+            cost += slow
+            self._live[addr] = (size, None)
+        else:
+            addr, slow = self._small(tid, size_class, align)
+            cost += slow
+            self._live[addr] = (size, size_class)
+        self.allocated_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self.allocated_bytes)
+        return addr, cost
+
+    def free(self, tid, addr):
+        """Free; returns cycles."""
+        self.free_calls += 1
+        entry = self._live.pop(addr, None)
+        if entry is None:
+            raise AllocationError(f"free of unallocated {addr:#x}")
+        size, size_class = entry
+        self.allocated_bytes -= size
+        if size_class is not None:
+            key = 0 if self.global_arena else tid
+            arena = self._arenas.setdefault(key, {})
+            arena.setdefault(size_class, []).append(addr)
+        return self.costs.alloc_fast
+
+    # ------------------------------------------------------------------
+    def _class_for(self, size, align):
+        if align > LINE_SIZE:
+            return None
+        for cls in SIZE_CLASSES:
+            if size <= cls and (align == 0 or cls % align == 0):
+                return cls
+        return None
+
+    def _small(self, tid, size_class, align):
+        key = 0 if self.global_arena else tid
+        arena = self._arenas.setdefault(key, {})
+        free_list = arena.setdefault(size_class, [])
+        if free_list:
+            return free_list.pop(), 0
+        bumps = self._bumps.setdefault(key, {})
+        nxt, end = bumps.get(size_class, (0, 0))
+        if nxt + size_class > end:
+            base = self.region.take(CHUNK_BYTES, align=size_class)
+            nxt, end = base, base + CHUNK_BYTES
+            slow = self.costs.alloc_slow
+        else:
+            slow = 0
+        bumps[size_class] = (nxt + size_class, end)
+        return nxt, slow
+
+    def _large(self, size, align):
+        if self.line_align_large:
+            align = max(align, LINE_SIZE)
+            return self.region.take(size, align=align), self.costs.alloc_slow
+        # 16-byte ABI alignment; typically NOT line aligned — large
+        # blocks begin large_offset bytes into a fresh line span.
+        align = max(align, 16)
+        span = self.region.take(size + self.large_offset,
+                                align=max(align, LINE_SIZE))
+        addr = span + self.large_offset
+        if align > 16 and addr % align:
+            addr = (addr + align - 1) & ~(align - 1)
+        return addr, self.costs.alloc_slow
+
+    # ------------------------------------------------------------------
+    @property
+    def arena_bytes(self):
+        """Region bytes consumed by arenas and large blocks."""
+        return self.region.used

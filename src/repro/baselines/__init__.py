@@ -1,0 +1,7 @@
+"""Comparison systems: plain pthreads, Sheriff, and LASER."""
+
+from repro.baselines.laser import LaserRuntime
+from repro.baselines.pthreads import PthreadsRuntime
+from repro.baselines.sheriff import SheriffRuntime
+
+__all__ = ["LaserRuntime", "PthreadsRuntime", "SheriffRuntime"]

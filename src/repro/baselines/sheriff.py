@@ -1,0 +1,163 @@
+"""Sheriff (Liu & Berger, OOPSLA'11) reimplemented on our substrate.
+
+Sheriff wraps *every* thread in a process from startup and page-protects
+all of memory, committing PTSB diffs at every synchronization operation
+(paper section 2.2, Figures 1-2).  Two consequences the paper leans on:
+
+- large overheads for programs that synchronize frequently, and
+  incompatibility with native-input heap sizes — Sheriff works with only
+  11 of the paper's 35 workloads;
+- no consistency handling: C/C++ atomics and inline assembly go through
+  the PTSB, so canneal produces incorrect results and cholesky hangs
+  (sections 2.2 and 4.5).
+
+``sheriff-detect`` and ``sheriff-protect`` share the mechanism; detect
+additionally pays a per-commit diff-analysis cost for its false sharing
+reports.
+"""
+
+from repro.alloc import LocklessAllocator, RegionBump
+from repro.core.ptsb import PageTwinningStoreBuffer
+from repro.engine import layout
+from repro.engine.hooks import RuntimeHooks
+from repro.errors import IncompatibleWorkloadError
+from repro.oskit.shm import SharedMemoryNamespace
+from repro.sim.addrspace import AddressSpace, Backing, PRIVATE
+from repro.sim.costs import PAGE_4K
+
+#: Largest native-input footprint Sheriff's whole-heap protection copes
+#: with (beyond this its twin/commit machinery exhausts memory).
+MAX_FOOTPRINT = 128 * 1024 * 1024
+
+MAX_THREADS = 64
+
+
+class SheriffRuntime(RuntimeHooks):
+    """Threads-as-processes with whole-memory page twinning."""
+
+    def __init__(self, mode="protect"):
+        if mode not in ("detect", "protect"):
+            raise ValueError(f"unknown sheriff mode {mode!r}")
+        self.mode = mode
+        self.name = f"sheriff-{mode}"
+        self.commits = 0
+        self.commit_cycles = 0
+
+    # ------------------------------------------------------------------
+    def check_workload(self, program):
+        if program.features.footprint_bytes > MAX_FOOTPRINT:
+            raise IncompatibleWorkloadError(
+                self.name, program.name,
+                "native input exceeds Sheriff's protected-heap capacity")
+
+    # ------------------------------------------------------------------
+    def setup(self, engine):
+        machine = engine.machine
+        costs = engine.costs
+        heap_bytes = engine.program.heap_bytes
+
+        self.shm = SharedMemoryNamespace(machine.physmem)
+        stacks_bytes = MAX_THREADS * layout.STACK_SIZE
+        app_bytes = layout.GLOBALS_SIZE + heap_bytes + stacks_bytes
+        self.app_backing = self.shm.shm_open("sheriff-app", app_bytes)
+        self.internal_backing = self.shm.shm_open(
+            "sheriff-internal", layout.INTERNAL_SIZE)
+
+        aspace = AddressSpace(machine.physmem, costs, name="app")
+        # every application mapping is private/COW from the start
+        aspace.mmap(layout.GLOBALS_BASE, layout.GLOBALS_SIZE,
+                    self.app_backing, backing_offset=0, mode=PRIVATE,
+                    page_size=PAGE_4K, name="globals")
+        aspace.mmap(layout.HEAP_BASE, heap_bytes, self.app_backing,
+                    backing_offset=layout.GLOBALS_SIZE, mode=PRIVATE,
+                    page_size=PAGE_4K, name="heap")
+        aspace.mmap(layout.INTERNAL_BASE, layout.INTERNAL_SIZE,
+                    self.internal_backing, name="sheriff-internal")
+        libc_backing = Backing(machine.physmem, layout.LIBC_SIZE, "libc")
+        aspace.mmap(layout.LIBC_BASE, layout.LIBC_SIZE, libc_backing,
+                    name="libc")
+        engine.root_aspace = aspace
+
+        heap_region = RegionBump(layout.HEAP_BASE, heap_bytes, "heap")
+        engine.allocator = LocklessAllocator(heap_region, costs,
+                                             name="sheriff")
+        self._internal_bump = RegionBump(
+            layout.INTERNAL_BASE, layout.INTERNAL_SIZE, "sheriff-internal")
+        self._stack_offset_base = layout.GLOBALS_SIZE + heap_bytes
+        self._stacks_mapped = set()
+
+    # ------------------------------------------------------------------
+    # threads become processes at creation
+    # ------------------------------------------------------------------
+    def on_thread_created(self, engine, thread):
+        tid = thread.tid
+        if tid not in self._stacks_mapped and tid < MAX_THREADS:
+            self._stacks_mapped.add(tid)
+            engine.root_aspace.mmap(
+                layout.stack_base(tid), layout.STACK_SIZE,
+                self.app_backing,
+                backing_offset=self._stack_offset_base
+                + tid * layout.STACK_SIZE,
+                mode=PRIVATE, name=f"stack:{tid}")
+        # pthread_create is a synchronization point: the creator's PTSB
+        # commits so the child forks a clean view of shared memory
+        parent_ptsb = thread.process.ptsb
+        if parent_ptsb is not None:
+            thread.pending_penalty += parent_ptsb.commit(thread.core,
+                                                         "thread_create")
+        process = engine.convert_thread_to_process(thread)
+        PageTwinningStoreBuffer(process, engine.machine, engine.costs,
+                                huge_commit_optimization=False)
+        thread.pending_penalty += engine.costs.fork
+
+    def on_thread_exit(self, engine, thread):
+        self._commit(engine, thread, "exit")
+
+    # ------------------------------------------------------------------
+    # synchronization: pshared redirection + commit at every operation
+    # ------------------------------------------------------------------
+    def on_sync_object_init(self, engine, thread, obj):
+        shadow = self._internal_bump.take(64, align=64)
+        obj.shadow_addr = shadow
+        return engine.costs.alloc_fast
+
+    def sync_cost_extra(self, engine, thread, obj):
+        return engine.costs.pshared_indirect
+
+    def on_sync_acquired(self, engine, thread, obj, kind):
+        return self._commit(engine, thread, kind)
+
+    def on_sync_release(self, engine, thread, obj, kind):
+        return self._commit(engine, thread, kind)
+
+    def _commit(self, engine, thread, reason):
+        ptsb = thread.process.ptsb
+        if ptsb is None:
+            return 0
+        cost = ptsb.commit(thread.core, reason)
+        if cost:
+            self.commits += 1
+            self.commit_cycles += cost
+            if self.mode == "detect":
+                # detection work: scan the diff for cross-process
+                # conflicts (Sheriff's interleaved-write analysis)
+                cost += int(cost * 0.15)
+        return cost
+
+    # NOTE: no translate() override and no region handling — atomics,
+    # assembly, and volatile accesses all go through the PTSB.  This is
+    # precisely Sheriff's consistency flaw.
+
+    # ------------------------------------------------------------------
+    def memory_report(self, engine):
+        twin_peak = 0
+        private = 0
+        for process in engine.processes.values():
+            if process.ptsb is not None:
+                twin_peak += process.ptsb.twin_bytes_peak
+            private += process.aspace.private_bytes
+        return {"sheriff_twins": twin_peak, "sheriff_private": private}
+
+    def report(self, engine):
+        return {"mode": self.mode, "commits": self.commits,
+                "commit_cycles": self.commit_cycles}

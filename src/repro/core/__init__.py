@@ -1,0 +1,25 @@
+"""The paper's contribution: the TMI runtime — detection, repair,
+PTSB, and code-centric consistency."""
+
+from repro.core.classify import (FALSE_SHARING, LineStats, NO_SHARING,
+                                 TRUE_SHARING)
+from repro.core.config import TmiConfig
+from repro.core.consistency import (ASM, ATOMIC, CodeCentricPolicy,
+                                    ConsistencyDecision, REGULAR, TABLE2,
+                                    table2_semantics)
+from repro.core.detector import (FalseSharingDetector, IntervalReport,
+                                 RepairTarget)
+from repro.core.ptsb import PageTwinningStoreBuffer
+from repro.core.repair import RepairManager
+from repro.core.runtime import (STAGE_ALLOC, STAGE_DETECT, STAGE_PROTECT,
+                                TmiRuntime)
+from repro.core.stats import TmiStats
+
+__all__ = [
+    "FALSE_SHARING", "LineStats", "NO_SHARING", "TRUE_SHARING",
+    "TmiConfig", "ASM", "ATOMIC", "CodeCentricPolicy",
+    "ConsistencyDecision", "REGULAR", "TABLE2", "table2_semantics",
+    "FalseSharingDetector", "IntervalReport", "RepairTarget",
+    "PageTwinningStoreBuffer", "RepairManager", "STAGE_ALLOC",
+    "STAGE_DETECT", "STAGE_PROTECT", "TmiRuntime", "TmiStats",
+]

@@ -1,0 +1,116 @@
+"""Per-cache-line sample aggregation and sharing classification.
+
+Works purely from detector-visible information: sampled (tid, PC, va)
+records plus disassembly of the PC (access kind and width).  Two
+threads making conflicting accesses to one line are *truly* sharing if
+their byte ranges overlap and *falsely* sharing if they are disjoint
+(paper sections 2 and 3.1).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sim.costs import LINE_SIZE
+
+FALSE_SHARING = "false"
+TRUE_SHARING = "true"
+NO_SHARING = "none"
+
+
+@dataclass
+class _ThreadAccess:
+    """One thread's sampled access pattern within a line."""
+
+    reads: dict = field(default_factory=dict)    # (offset, width) -> count
+    writes: dict = field(default_factory=dict)
+
+    @property
+    def count(self):
+        return sum(self.reads.values()) + sum(self.writes.values())
+
+    def ranges(self, writes_only=False):
+        source = [self.writes] if writes_only else [self.reads, self.writes]
+        out = []
+        for table in source:
+            out.extend(table)
+        return out
+
+
+class LineStats:
+    """Aggregated samples for one cache line."""
+
+    __slots__ = ("line_va", "by_tid", "records", "pcs")
+
+    def __init__(self, line_va):
+        self.line_va = line_va
+        self.by_tid = {}
+        self.records = 0
+        self.pcs = set()       # sampled instruction addresses (LASER
+                               # instruments these; TMI ignores them)
+
+    def add(self, tid, offset, width, is_store, pc=None):
+        acc = self.by_tid.get(tid)
+        if acc is None:
+            acc = _ThreadAccess()
+            self.by_tid[tid] = acc
+        # clamp skid-displaced offsets into the line
+        offset = max(0, min(offset, LINE_SIZE - 1))
+        width = max(1, min(width, LINE_SIZE - offset))
+        table = acc.writes if is_store else acc.reads
+        key = (offset, width)
+        table[key] = table.get(key, 0) + 1
+        if pc is not None:
+            self.pcs.add(pc)
+        self.records += 1
+
+    # ------------------------------------------------------------------
+    def classify(self):
+        """(classification, false_weight, true_weight).
+
+        Weights count conflicting sample pairs between threads: pairs
+        with overlapping byte ranges score as true sharing, disjoint
+        pairs as false sharing.
+        """
+        tids = list(self.by_tid)
+        if len(tids) < 2:
+            return NO_SHARING, 0, 0
+        false_weight = 0
+        true_weight = 0
+        for i, t1 in enumerate(tids):
+            for t2 in tids[i + 1:]:
+                a, b = self.by_tid[t1], self.by_tid[t2]
+                f, t = _pair_weights(a, b)
+                false_weight += f
+                true_weight += t
+        if false_weight == 0 and true_weight == 0:
+            return NO_SHARING, 0, 0
+        label = (FALSE_SHARING if false_weight >= true_weight
+                 else TRUE_SHARING)
+        return label, false_weight, true_weight
+
+
+def _pair_weights(a, b):
+    """Conflicting-sample weights between two threads on one line.
+
+    Every sample here came from a HITM — the access hit a line some
+    core held Modified — so a writer is implied even when the sampled
+    accesses themselves are loads (PEBS under-reports store HITMs,
+    section 2.1).  All cross-thread sample pairs therefore count as
+    conflicts: disjoint byte ranges score as false sharing, overlapping
+    ranges as true sharing.
+    """
+    false_weight = 0
+    true_weight = 0
+    for (off1, w1), c1 in _all_accesses(a):
+        for (off2, w2), c2 in _all_accesses(b):
+            weight = min(c1, c2)
+            if off1 + w1 <= off2 or off2 + w2 <= off1:
+                false_weight += weight
+            else:
+                true_weight += weight
+    return false_weight, true_weight
+
+
+def _all_accesses(acc):
+    items = list(acc.writes.items())
+    items.extend(acc.reads.items())
+    return items

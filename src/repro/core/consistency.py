@@ -1,0 +1,115 @@
+"""Code-centric memory consistency (paper section 3.4).
+
+A program is partitioned into *regular*, *atomic*, and *assembly* code
+regions; the consistency model in force changes at region boundaries.
+Table 2 gives the semantics of concurrent conflicting accesses between
+region kinds and determines where a PTSB may be used:
+
+- regular/regular, regular/atomic conflicts are data races → undefined
+  behaviour → PTSB permitted (case 1);
+- atomic/atomic is race-free and guarantees atomicity → PTSB forbidden
+  (case 2);
+- assembly interactions guarantee aligned multi-byte store atomicity
+  (TSO) → PTSB forbidden (cases 3-5; case 3 is technically undefined
+  but TMI flushes anyway for uniformity).
+
+TMI's policy: flush and disable the PTSB around atomic and assembly
+regions, with the refinement that ``memory_order_relaxed`` atomics need
+atomicity only — they run directly against shared memory without
+forcing a flush (the shptr-relaxed speedup).
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.ops import (AtomicLoad, AtomicRMW, AtomicStore, RELAXED,
+                           REGION_ASM, REGION_ATOMIC)
+
+#: Region kinds as they appear in Table 2 (regular, atomic, x86 asm).
+REGULAR = "regular"
+ATOMIC = REGION_ATOMIC
+ASM = REGION_ASM
+
+#: Table 2 of the paper: semantics of concurrent conflicting accesses
+#: between code-region kinds, and whether PTSB use is permitted there
+#: (the shaded cells).  Keys are unordered pairs.
+TABLE2 = {
+    frozenset([REGULAR]): ("undefined", True),            # case 1
+    frozenset([REGULAR, ATOMIC]): ("undefined", True),    # case 1
+    frozenset([ATOMIC]): ("atomic", False),                # case 2
+    frozenset([REGULAR, ASM]): ("unknown", False),         # case 3
+    frozenset([ATOMIC, ASM]): ("unknown", False),          # case 4
+    frozenset([ASM]): ("TSO", False),                      # case 5
+}
+
+
+def table2_semantics(kind_a, kind_b):
+    """(semantics, ptsb_permitted) for a pair of region kinds."""
+    return TABLE2[frozenset([kind_a, kind_b])]
+
+
+@dataclass
+class ConsistencyDecision:
+    """What the runtime must do for one access or region event."""
+
+    flush_ptsb: bool = False
+    bypass_ptsb: bool = False      # route access to shared memory
+
+
+class CodeCentricPolicy:
+    """TMI's implementation of the code-centric callbacks.
+
+    ``enabled=False`` is the unsafe ablation: all callbacks become NOPs
+    and the PTSB stays active through atomic and assembly code — the
+    configuration under which canneal corrupts and cholesky hangs
+    (Figures 11 and 12).
+    """
+
+    def __init__(self, enabled=True, flush_relaxed=False):
+        self.enabled = enabled
+        #: Conservative ablation: treat relaxed atomics like seq_cst
+        #: (flush the PTSB), forfeiting the shptr-relaxed optimization.
+        self.flush_relaxed = flush_relaxed
+        self.flushes = 0
+        self.relaxed_fast_path = 0
+
+    # ------------------------------------------------------------------
+    # region-boundary callbacks (installed through the loader table)
+    # ------------------------------------------------------------------
+    def on_region_begin(self, thread, kind, ordering):
+        """Decision at an atomic or asm region entry."""
+        if not self.enabled:
+            return ConsistencyDecision()
+        if kind == REGION_ASM:
+            self.flushes += 1
+            return ConsistencyDecision(flush_ptsb=True, bypass_ptsb=True)
+        if kind == REGION_ATOMIC:
+            if ordering == RELAXED and not self.flush_relaxed:
+                # atomicity only: operate on shared pages, no flush
+                self.relaxed_fast_path += 1
+                return ConsistencyDecision(bypass_ptsb=True)
+            self.flushes += 1
+            return ConsistencyDecision(flush_ptsb=True, bypass_ptsb=True)
+        return ConsistencyDecision()
+
+    def on_region_end(self, thread, kind):
+        return ConsistencyDecision()
+
+    # ------------------------------------------------------------------
+    # per-access routing
+    # ------------------------------------------------------------------
+    def access_bypasses_ptsb(self, thread, op):
+        """True when the access must go directly to shared memory.
+
+        Atomics always do (their atomicity is guaranteed by the shared
+        mapping); so does everything inside an assembly or atomic
+        region; so do volatile accesses, which code-centric consistency
+        honors with the SC semantics the original programmer intended
+        (the cholesky case, Figure 12).
+        """
+        if not self.enabled:
+            return False
+        if isinstance(op, (AtomicLoad, AtomicStore, AtomicRMW)):
+            return True
+        if getattr(op, "volatile", False):
+            return True
+        return bool(thread.region_stack)

@@ -1,0 +1,123 @@
+"""TMI's repair mechanism (paper sections 3.2-3.3).
+
+When the detector nominates pages, the repair manager asks the ptrace
+monitor to stop the world; on the first episode every application
+thread is converted into a process (T2P) and given a PTSB; then the
+nominated pages are protected — process-private and copy-on-write — in
+*every* application process.  Unprotected pages continue to hit shared
+memory at native speed: repair is targeted (section 3.3).
+
+``targeted=False`` reproduces the PTSB-everywhere ablation of section
+4.3: every heap/globals/stack page is protected on the first episode.
+"""
+
+from repro.core.ptsb import PageTwinningStoreBuffer
+from repro.oskit.ptrace import PtraceMonitor
+
+
+class RepairManager:
+    """Orchestrates T2P conversion and targeted page protection."""
+
+    def __init__(self, engine, config, stats):
+        self.engine = engine
+        self.config = config
+        self.stats = stats
+        self.monitor = PtraceMonitor(engine)
+        self.converted = False
+        self.protected_pages = {}      # page va -> page size
+        self.protected_lines = set()   # line vas already handled
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self):
+        return self.converted
+
+    def request_repair(self, engine, targets, interval_index):
+        """Schedule a stop-the-world repair episode for ``targets``."""
+        new = [t for t in targets
+               if t.line_va not in self.protected_lines]
+        if not new:
+            return
+        if not self.stats.repair_trigger_interval:
+            self.stats.repair_trigger_interval = interval_index
+
+        def action(eng, stop_time):
+            if not self.converted:
+                record = self.monitor.convert_all_threads(eng, stop_time)
+                self.stats.conversions.append(record)
+                self.stats.repair_trigger_cycle = stop_time
+                for process in self._app_processes(eng):
+                    self._install_ptsb(process)
+                self.converted = True
+            if self.config.targeted:
+                for target in new:
+                    self._protect_target(eng, target)
+            else:
+                self._protect_all_memory(eng)
+
+        self.monitor.stop_all_and(action)
+
+    def adopt_thread(self, engine, thread):
+        """A thread created after repair began: convert it immediately
+        so its address space carries the same protections (the forked
+        page table inherits them)."""
+        if not self.converted:
+            return
+        parent_ptsb = thread.process.ptsb
+        if parent_ptsb is not None:
+            thread.pending_penalty += parent_ptsb.commit(
+                thread.core, "thread_create")
+        process = engine.convert_thread_to_process(thread)
+        self._install_ptsb(process)
+        thread.pending_penalty += (engine.costs.fork
+                                   + engine.costs.trampoline)
+
+    # ------------------------------------------------------------------
+    def _app_processes(self, engine):
+        seen = set()
+        for thread in engine.threads.values():
+            if thread.process.pid not in seen:
+                seen.add(thread.process.pid)
+                yield thread.process
+
+    def _install_ptsb(self, process):
+        if process.ptsb is None:
+            PageTwinningStoreBuffer(
+                process, self.engine.machine, self.engine.costs,
+                self.config.huge_commit_optimization,
+                on_commit=self.stats.note_commit)
+
+    def _protect_target(self, engine, target):
+        from repro.sim.costs import PAGE_4K
+
+        self.protected_lines.add(target.line_va)
+        page_va, page_size = target.page_va, target.page_size
+        if page_size > PAGE_4K and self.config.repair_page_split:
+            # the application region uses huge pages: remap the hot
+            # 2 MB page as 4 KB pages so diff/commit stay cheap, then
+            # protect only the 4 KB page holding the hot line
+            processes = list(self._app_processes(engine))
+            for process in processes:
+                small = process.aspace.split_mapping_page(target.page_va)
+                page_va, page_size = process.aspace.page_base(
+                    target.line_va)
+        if page_va in self.protected_pages:
+            return
+        for process in self._app_processes(engine):
+            process.aspace.protect_page(page_va)
+        self.protected_pages[page_va] = page_size
+        self.stats.protected_pages = len(self.protected_pages)
+
+    def _protect_all_memory(self, engine):
+        """PTSB-everywhere ablation: protect heap, globals, and stacks."""
+        from repro.sim.addrspace import PRIVATE
+
+        for process in self._app_processes(engine):
+            for mapping in process.aspace.mappings():
+                kind = mapping.name.split(":")[0]
+                if kind not in ("heap", "globals", "stack"):
+                    continue
+                mapping.mode = PRIVATE
+                for state in mapping.pages.values():
+                    state.mode = PRIVATE
+        self.stats.protected_pages = -1        # sentinel: everything

@@ -1,0 +1,14 @@
+"""Execution engine: threads, processes, scheduling, runtime hooks."""
+
+from repro.engine.context import ThreadCtx
+from repro.engine.hooks import RuntimeHooks
+from repro.engine.program import Program, RunResult, WorkloadFeatures
+from repro.engine.scheduler import Engine
+from repro.engine.thread import (BLOCKED, DONE, PARKED, READY, SimProcess,
+                                 SimThread)
+
+__all__ = [
+    "ThreadCtx", "RuntimeHooks", "Program", "RunResult",
+    "WorkloadFeatures", "Engine", "BLOCKED", "DONE", "PARKED", "READY",
+    "SimProcess", "SimThread",
+]

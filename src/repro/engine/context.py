@@ -1,0 +1,215 @@
+"""The API workload code is written against.
+
+A thread body is ``def body(t: ThreadCtx): ...`` — a generator function.
+Every memory/sync operation is expressed as ``yield from t.<op>(...)``;
+the engine executes the yielded ISA op and sends the result back.
+
+Atomic helpers automatically bracket themselves with the code-centric
+consistency region markers that the paper's LLVM pass would insert
+(section 3.4.2); ``asm()`` gives workloads explicit inline-assembly
+regions.
+"""
+
+from repro.errors import HangError
+from repro.isa import ops as O
+
+
+class ThreadCtx:
+    """Per-thread handle passed to workload bodies."""
+
+    def __init__(self, engine, thread, binary):
+        self._engine = engine
+        self._thread = thread
+        self._binary = binary
+
+    # ------------------------------------------------------------------
+    @property
+    def tid(self):
+        return self._thread.tid
+
+    @property
+    def name(self):
+        return self._thread.name
+
+    @property
+    def nthreads(self):
+        return self._engine.program.nthreads
+
+    # ------------------------------------------------------------------
+    # plain data accesses
+    # ------------------------------------------------------------------
+    def load(self, addr, width=8, site=None, volatile=False):
+        site = site or self._binary.auto_site("load", width)
+        value = yield O.Load(site, addr, width, volatile)
+        return value
+
+    def store(self, addr, value, width=8, site=None, volatile=False):
+        site = site or self._binary.auto_site("store", width)
+        yield O.Store(site, addr, value, width, volatile)
+
+    def compute(self, cycles):
+        yield O.Compute(cycles)
+
+    def bulk_touch(self, addr, nbytes, is_write=False, site=None):
+        site = site or self._binary.auto_site(
+            "store" if is_write else "load", 8)
+        yield O.BulkTouch(site, addr, nbytes, is_write)
+
+    def fence(self, site=None):
+        yield O.Fence(site or self._binary.auto_site("other", 0))
+
+    # ------------------------------------------------------------------
+    # C/C++ atomics (bracketed with consistency callbacks)
+    # ------------------------------------------------------------------
+    def atomic_add(self, addr, delta, width=8, ordering=O.SEQ_CST,
+                   site=None):
+        """fetch_add; returns the old value."""
+        site = site or self._binary.auto_site("atomic", width)
+        yield O.RegionBegin(O.REGION_ATOMIC, ordering)
+        old = yield O.AtomicRMW(site, addr, "add", delta, width, ordering)
+        yield O.RegionEnd(O.REGION_ATOMIC)
+        return old
+
+    def atomic_xchg(self, addr, value, width=8, ordering=O.SEQ_CST,
+                    site=None):
+        site = site or self._binary.auto_site("atomic", width)
+        yield O.RegionBegin(O.REGION_ATOMIC, ordering)
+        old = yield O.AtomicRMW(site, addr, "xchg", value, width, ordering)
+        yield O.RegionEnd(O.REGION_ATOMIC)
+        return old
+
+    def atomic_cas(self, addr, expected, new, width=8, ordering=O.SEQ_CST,
+                   site=None):
+        """compare_exchange; returns the observed old value."""
+        site = site or self._binary.auto_site("atomic", width)
+        yield O.RegionBegin(O.REGION_ATOMIC, ordering)
+        old = yield O.AtomicRMW(site, addr, "cas", new, width, ordering,
+                                expected=expected)
+        yield O.RegionEnd(O.REGION_ATOMIC)
+        return old
+
+    def atomic_load(self, addr, width=8, ordering=O.SEQ_CST, site=None):
+        site = site or self._binary.auto_site("atomic", width)
+        yield O.RegionBegin(O.REGION_ATOMIC, ordering)
+        value = yield O.AtomicLoad(site, addr, width, ordering)
+        yield O.RegionEnd(O.REGION_ATOMIC)
+        return value
+
+    def atomic_store(self, addr, value, width=8, ordering=O.SEQ_CST,
+                     site=None):
+        site = site or self._binary.auto_site("atomic", width)
+        yield O.RegionBegin(O.REGION_ATOMIC, ordering)
+        yield O.AtomicStore(site, addr, value, width, ordering)
+        yield O.RegionEnd(O.REGION_ATOMIC)
+
+    # ------------------------------------------------------------------
+    # inline assembly regions
+    # ------------------------------------------------------------------
+    def asm_begin(self):
+        """Enter an inline-assembly region (TSO semantics inside)."""
+        yield O.RegionBegin(O.REGION_ASM)
+
+    def asm_end(self):
+        yield O.RegionEnd(O.REGION_ASM)
+
+    # ------------------------------------------------------------------
+    # volatile flag synchronization (old-style C, Figure 12)
+    # ------------------------------------------------------------------
+    def volatile_load(self, addr, width=4, site=None):
+        value = yield from self.load(addr, width, site, volatile=True)
+        return value
+
+    def volatile_store(self, addr, value, width=4, site=None):
+        yield from self.store(addr, value, width, site, volatile=True)
+
+    def spin_while_equal(self, addr, value, width=4, site=None,
+                         max_spins=20_000, spin_cost=120):
+        """Spin until ``*addr != value`` (volatile read loop).
+
+        Raises :class:`HangError` after ``max_spins`` — the simulated
+        analog of cholesky hanging forever under a PTSB without
+        code-centric consistency (Figure 12).
+        """
+        spins = 0
+        while True:
+            observed = yield from self.volatile_load(addr, width, site)
+            if observed != value:
+                return observed
+            spins += 1
+            if spins >= max_spins:
+                raise HangError(self.tid,
+                                f"spinning on {addr:#x} == {value}")
+            yield O.Compute(spin_cost)
+
+    # ------------------------------------------------------------------
+    # heap
+    # ------------------------------------------------------------------
+    def malloc(self, size, align=0):
+        addr = yield O.Malloc(size, align)
+        return addr
+
+    def free(self, addr):
+        yield O.FreeOp(addr)
+
+    # ------------------------------------------------------------------
+    # pthreads
+    # ------------------------------------------------------------------
+    def mutex(self, name=""):
+        """pthread_mutex_init: allocates and registers a mutex."""
+        addr = yield O.Malloc(self._engine.sync_object_size("mutex"), 8)
+        mutex = self._engine.register_mutex(self._thread, addr, name)
+        return mutex
+
+    def mutex_at(self, addr, name=""):
+        """Register a mutex at caller-placed memory (lock pools)."""
+        return self._engine.register_mutex(self._thread, addr, name)
+
+    def barrier(self, parties, name=""):
+        addr = yield O.Malloc(self._engine.sync_object_size("barrier"), 8)
+        barrier = self._engine.register_barrier(self._thread, addr,
+                                                parties, name)
+        return barrier
+
+    def lock(self, mutex):
+        yield O.MutexLock(mutex)
+
+    def unlock(self, mutex):
+        yield O.MutexUnlock(mutex)
+
+    def barrier_wait(self, barrier):
+        yield O.BarrierWait(barrier)
+
+    def condvar(self, name=""):
+        """pthread_cond_init: allocates and registers a condvar."""
+        addr = yield O.Malloc(self._engine.sync_object_size("condvar"), 8)
+        condvar = self._engine.register_condvar(self._thread, addr, name)
+        return condvar
+
+    def cond_wait(self, condvar, mutex):
+        """Atomically release ``mutex`` and sleep until signalled; the
+        mutex is re-acquired before returning."""
+        yield O.CondWait(condvar, mutex)
+
+    def cond_signal(self, condvar):
+        yield O.CondSignal(condvar)
+
+    def cond_broadcast(self, condvar):
+        yield O.CondSignal(condvar, broadcast=True)
+
+    def spawn(self, body, name=""):
+        """pthread_create; returns the new thread's tid."""
+        tid = yield O.ThreadCreate(body, name)
+        return tid
+
+    def join(self, tid):
+        yield O.ThreadJoin(tid)
+
+    # ------------------------------------------------------------------
+    # introspection used by a few workloads
+    # ------------------------------------------------------------------
+    def stack_base(self):
+        """Base address of this thread's stack mapping."""
+        return self._engine.stack_base(self._thread.tid)
+
+    def now_cycles(self):
+        return self._engine.machine.core_clock[self._thread.core]

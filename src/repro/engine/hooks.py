@@ -1,0 +1,130 @@
+"""Runtime hook interface.
+
+A *runtime system* (plain pthreads, TMI, Sheriff, LASER) plugs into the
+engine through this interface.  The engine owns scheduling and op
+execution; the runtime owns memory layout, allocator placement, sync
+interposition, consistency callbacks, sampling, and repair.
+
+The default implementations are no-ops so that a runtime only overrides
+what it changes — this is the code-level expression of TMI's
+compatible-by-default principle (section 3).
+"""
+
+from repro.sim.costs import PAGE_4K
+
+
+class RuntimeHooks:
+    """Base runtime: override points with no-op defaults."""
+
+    #: Display name used in reports.
+    name = "base"
+    #: If nonzero, ``on_tick`` fires every this many cycles of machine time.
+    tick_cycles = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def setup(self, engine):
+        """Create the root address space, standard mappings, and the
+        allocator.  Must set ``engine.root_aspace`` and
+        ``engine.allocator``."""
+        raise NotImplementedError
+
+    def teardown(self, engine):
+        """End-of-program work (final commits, report finalization)."""
+
+    def check_workload(self, program):
+        """Raise :class:`~repro.errors.IncompatibleWorkloadError` if this
+        runtime cannot run ``program`` (e.g. Sheriff on native inputs)."""
+
+    # ------------------------------------------------------------------
+    # threads
+    # ------------------------------------------------------------------
+    def on_thread_created(self, engine, thread):
+        """New application thread (pthread_create interposition)."""
+
+    def on_thread_exit(self, engine, thread):
+        """Thread finished (final PTSB commit happens here)."""
+
+    # ------------------------------------------------------------------
+    # memory operations
+    # ------------------------------------------------------------------
+    def exec_access_override(self, engine, thread, op):
+        """Fully intercept a data access; return ``(cost, value)`` or
+        None to use the engine's default path (LASER's software store
+        buffer lives here)."""
+        return None
+
+    def translate(self, engine, thread, op, va, width, is_write):
+        """Translate an access to a physical address.
+
+        Runtimes implementing code-centric consistency route atomic,
+        assembly, and volatile accesses to the always-shared mapping
+        here.  Returns a :class:`~repro.sim.addrspace.Translation`.
+        """
+        return thread.process.aspace.translate(va, width, is_write)
+
+    def access_extra_cost(self, engine, thread, op):
+        """Extra cycles charged per data access (instrumentation)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # allocator
+    # ------------------------------------------------------------------
+    def malloc(self, engine, thread, size, align):
+        """Allocate heap memory; returns ``(addr, cost)``."""
+        return engine.allocator.malloc(thread.tid, size, align)
+
+    def free(self, engine, thread, addr):
+        """Free heap memory; returns cost."""
+        return engine.allocator.free(thread.tid, addr)
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def on_sync_object_init(self, engine, thread, obj):
+        """A mutex/barrier/condvar was initialized (redirection point)."""
+
+    def sync_cost_extra(self, engine, thread, obj):
+        """Extra cycles per sync op (e.g. pshared indirection)."""
+        return 0
+
+    def on_sync_acquired(self, engine, thread, obj, kind):
+        """A lock was acquired / a barrier was passed.  Returns extra
+        cycles (PTSB empty-on-acquire happens here)."""
+        return 0
+
+    def on_sync_release(self, engine, thread, obj, kind):
+        """About to release a lock / arrive at a barrier.  Returns extra
+        cycles (PTSB commit-on-release happens here)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # code-centric consistency callbacks (section 3.4.2)
+    # ------------------------------------------------------------------
+    def on_region_begin(self, engine, thread, kind, ordering):
+        """Entering an atomic or asm region.  Returns extra cycles."""
+        return 0
+
+    def on_region_end(self, engine, thread, kind):
+        """Leaving an atomic or asm region.  Returns extra cycles."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # periodic work
+    # ------------------------------------------------------------------
+    def on_tick(self, engine, now):
+        """Fires every ``tick_cycles`` of machine time (detector pass)."""
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def memory_report(self, engine):
+        """Runtime-specific memory overheads in bytes, by category."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # conveniences shared by concrete runtimes
+    # ------------------------------------------------------------------
+    #: Default page size runtimes use for their mappings.
+    page_size = PAGE_4K

@@ -1,0 +1,49 @@
+"""Standard process memory layout shared by all runtimes.
+
+Virtual-address geography is fixed so that the /proc/pid/maps analog
+(:mod:`repro.oskit.procmaps`) can classify samples the way TMI's
+detector does: repair is restricted to the heap and globals; stack and
+system-library addresses are filtered out (section 3.1).
+"""
+
+from repro.sim.costs import PAGE_2M
+
+GLOBALS_BASE = 0x1000_0000
+GLOBALS_SIZE = 16 * 1024 * 1024
+
+HEAP_BASE = 0x4000_0000
+# heap size comes from the program (native inputs reach tens of GB)
+
+INTERNAL_BASE = 0x2000_0000          # TMI's process-shared state region
+INTERNAL_SIZE = 64 * 1024 * 1024
+
+LIBC_BASE = 0x3000_0000
+LIBC_SIZE = 4 * 1024 * 1024
+
+STACKS_BASE = 0x7000_0000_0000
+STACK_SIZE = 1 * 1024 * 1024
+STACK_SPACING = PAGE_2M              # keeps stacks page-size aligned
+
+
+def stack_base(tid):
+    """Base virtual address of thread ``tid``'s stack."""
+    return STACKS_BASE + tid * STACK_SPACING
+
+
+def heap_end(heap_bytes):
+    return HEAP_BASE + heap_bytes
+
+
+def region_kind(name):
+    """Classify a mapping name the way the detector's maps filter does."""
+    if name.startswith("stack"):
+        return "stack"
+    if name.startswith("libc"):
+        return "lib"
+    if name.startswith("tmi-"):
+        return "internal"
+    if name.startswith("heap"):
+        return "heap"
+    if name.startswith("globals"):
+        return "globals"
+    return "other"

@@ -1,0 +1,71 @@
+"""Program and run-result types."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorkloadFeatures:
+    """Static properties of a workload that runtimes must respect.
+
+    These mirror what the paper reports finding in real code: inline
+    assembly in canneal/dedup/leveldb, C11 atomics, volatile-flag
+    synchronization in splash2, and native-input heap footprints that
+    break Sheriff (section 4.2: "Sheriff works with just 11 of our 35
+    workloads").
+    """
+
+    uses_atomics: bool = False
+    uses_asm: bool = False
+    uses_volatile_flags: bool = False
+    has_false_sharing: bool = False
+    has_true_sharing: bool = False
+    #: Declared native-input footprint in bytes (drives Figure 8/10).
+    footprint_bytes: int = 10 * 1024 * 1024
+    #: Synchronization frequency class: 'low' | 'medium' | 'high'.
+    sync_rate: str = "low"
+
+
+@dataclass
+class Program:
+    """A runnable workload: a main body plus its binary image."""
+
+    name: str
+    binary: object
+    main: object                    # generator function main(ctx)
+    nthreads: int = 4
+    features: WorkloadFeatures = field(default_factory=WorkloadFeatures)
+    #: Bytes of heap address space to map (native inputs can be huge).
+    heap_bytes: int = 1 << 30
+    #: Filled by the body with result addresses; read by ``validate``.
+    env: dict = field(default_factory=dict)
+    #: Optional ``validate(env, engine) -> None`` raising on bad output.
+    validate: object = None
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one simulation run."""
+
+    program: str
+    system: str
+    cycles: int
+    seconds: float
+    hitm_loads: int
+    hitm_stores: int
+    sync_ops: int
+    data_ops: int
+    faults: dict
+    alloc_bytes: int
+    memory_bytes: dict              # category -> bytes
+    runtime_report: dict            # runtime-specific (detector, repair)
+    env: dict
+    validated: bool = True
+    error: str = ""
+
+    @property
+    def hitm_total(self):
+        return self.hitm_loads + self.hitm_stores
+
+    @property
+    def total_memory(self):
+        return sum(self.memory_bytes.values())

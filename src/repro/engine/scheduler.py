@@ -1,0 +1,592 @@
+"""The discrete-event execution engine.
+
+Runs a :class:`~repro.engine.program.Program` on a simulated
+:class:`~repro.sim.machine.Machine` under a runtime
+(:class:`~repro.engine.hooks.RuntimeHooks`).
+
+Scheduling is deterministic: the runnable thread with the smallest ready
+time executes one ISA op; ties break by insertion order.  Each op's
+cycle cost advances that thread's core clock.  Blocking (locks,
+barriers, joins) parks threads off the ready heap; stop-the-world
+requests (the monitor's ptrace attach) park every thread at its next op
+boundary — exactly where a real signal stop would land.
+"""
+
+import heapq
+
+from repro.engine import layout
+from repro.engine.context import ThreadCtx
+from repro.engine.program import RunResult
+from repro.engine.thread import (BLOCKED, DONE, PARKED, READY, SimProcess,
+                                 SimThread)
+from repro.errors import DeadlockError, SimulationError
+from repro.isa import ops as O
+from repro.sync.objects import Barrier, Condvar, Mutex
+
+
+class Engine:
+    """Executes one program under one runtime on one machine."""
+
+    def __init__(self, program, runtime, machine=None, n_cores=None,
+                 costs=None, max_cycles=200_000_000_000):
+        from repro.sim.machine import Machine
+        if n_cores is None:
+            n_cores = program.nthreads + 2
+        self.machine = machine or Machine(n_cores=n_cores, costs=costs)
+        self.costs = self.machine.costs
+        self.program = program
+        self.runtime = runtime
+        self.max_cycles = max_cycles
+
+        self.threads = {}
+        self.processes = {}
+        self._next_tid = 0
+        self._next_pid = 0
+        self._heap = []                # (ready_time, seq, tid)
+        self._seq = 0
+        self._stop_world = []          # pending monitor callbacks
+        self._next_tick = runtime.tick_cycles or None
+        self._mutex_ids = 0
+        self._barrier_ids = 0
+        self.sync_objects = []
+        #: Service core for the monitor/detector (last core).
+        self.service_core = self.machine.n_cores - 1
+        self._finished = False
+
+        # generic lock/barrier instruction sites (glibc text)
+        self._lock_site = program.binary.site("atomic", 4, "pthread_lock")
+        self._barrier_site = program.binary.site("atomic", 4,
+                                                 "pthread_barrier")
+
+        runtime.check_workload(program)
+        runtime.setup(self)            # sets root_aspace, allocator
+        root = SimProcess(pid=self._next_pid, aspace=self.root_aspace,
+                          name="app")
+        self._next_pid += 1
+        self.processes[root.pid] = root
+        self.root_process = root
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self):
+        """Execute the program to completion; returns a RunResult."""
+        main = self._create_thread(self.program.main, "main",
+                                   self.root_process)
+        self.runtime.on_thread_created(self, main)
+        self._schedule(main, 0)
+        while self._heap:
+            ready_time, seq, tid = heapq.heappop(self._heap)
+            thread = self.threads[tid]
+            if thread.state != READY or thread.seq != seq:
+                continue
+            if self._stop_world:
+                self._park(thread, ready_time)
+                continue
+            self._dispatch(thread, ready_time)
+            if self._next_tick is not None:
+                self._run_ticks()
+            if self.machine.now > self.max_cycles:
+                raise SimulationError(
+                    f"cycle budget exceeded ({self.machine.now})")
+        unfinished = [t.tid for t in self.threads.values()
+                      if t.state != DONE]
+        if unfinished:
+            raise DeadlockError(unfinished)
+        return self.finish()
+
+    def finish(self):
+        """Teardown and result collection."""
+        if not self._finished:
+            self.runtime.teardown(self)
+            self._finished = True
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # thread management
+    # ------------------------------------------------------------------
+    def _create_thread(self, body, name, process):
+        tid = self._next_tid
+        self._next_tid += 1
+        core = tid % (self.machine.n_cores - 1)   # last core is reserved
+        thread = SimThread(tid, name, core, process, body)
+        ctx = ThreadCtx(self, thread, self.program.binary)
+        thread.gen = body(ctx)
+        process.threads.append(thread)
+        self.threads[tid] = thread
+        return thread
+
+    def convert_thread_to_process(self, thread, name=""):
+        """Re-home ``thread`` into a fresh process with a forked address
+        space (the fork the monitor injects during T2P, section 3.2).
+
+        Returns the new :class:`SimProcess`.  Charges nothing — callers
+        (ptrace monitor) account the cost.
+        """
+        old = thread.process
+        pid = self._next_pid
+        self._next_pid += 1
+        aspace = old.aspace.fork(name or f"p{pid}")
+        proc = SimProcess(pid=pid, aspace=aspace,
+                          name=name or f"{thread.name}-proc")
+        self.processes[pid] = proc
+        old.threads.remove(thread)
+        thread.process = proc
+        proc.threads.append(thread)
+        return proc
+
+    def request_stop_world(self, callback):
+        """Stop every thread at its next op boundary, then run
+        ``callback(engine, stop_time)`` (the monitor's intervention)."""
+        self._stop_world.append(callback)
+
+    # ------------------------------------------------------------------
+    # sync object registration (pthread_*_init interposition points)
+    # ------------------------------------------------------------------
+    def sync_object_size(self, kind):
+        return {"mutex": Mutex.SIZE, "barrier": Barrier.SIZE,
+                "condvar": Condvar.SIZE}[kind]
+
+    def register_mutex(self, thread, addr, name=""):
+        self._mutex_ids += 1
+        mutex = Mutex(mid=self._mutex_ids, addr=addr, name=name)
+        self.sync_objects.append(mutex)
+        extra = self.runtime.on_sync_object_init(self, thread, mutex) or 0
+        self.machine.advance(thread.core, extra)
+        return mutex
+
+    def register_barrier(self, thread, addr, parties, name=""):
+        self._barrier_ids += 1
+        barrier = Barrier(bid=self._barrier_ids, addr=addr, parties=parties,
+                          name=name)
+        self.sync_objects.append(barrier)
+        extra = self.runtime.on_sync_object_init(self, thread, barrier) or 0
+        self.machine.advance(thread.core, extra)
+        return barrier
+
+    def register_condvar(self, thread, addr, name=""):
+        self._barrier_ids += 1
+        condvar = Condvar(cid=self._barrier_ids, addr=addr, name=name)
+        self.sync_objects.append(condvar)
+        extra = self.runtime.on_sync_object_init(self, thread, condvar) or 0
+        self.machine.advance(thread.core, extra)
+        return condvar
+
+    def stack_base(self, tid):
+        return layout.stack_base(tid)
+
+    # ------------------------------------------------------------------
+    # scheduling internals
+    # ------------------------------------------------------------------
+    def _schedule(self, thread, at_time):
+        thread.state = READY
+        thread.ready_time = at_time
+        self._seq += 1
+        thread.seq = self._seq
+        heapq.heappush(self._heap, (at_time, self._seq, thread.tid))
+
+    def _park(self, thread, ready_time):
+        thread.state = PARKED
+        thread.ready_time = ready_time
+        if not any(t.state == READY for t in self.threads.values()):
+            self._run_stop_world()
+
+    def _run_stop_world(self):
+        stop_time = max(
+            [t.ready_time for t in self.threads.values()
+             if t.state == PARKED] + [self.machine.now])
+        callbacks, self._stop_world = self._stop_world, []
+        for callback in callbacks:
+            callback(self, stop_time)
+        for thread in self.threads.values():
+            if thread.state == PARKED:
+                penalty = thread.pending_penalty
+                thread.pending_penalty = 0
+                self._schedule(thread,
+                               max(thread.ready_time, stop_time) + penalty)
+
+    def _dispatch(self, thread, ready_time):
+        clock = max(self.machine.core_clock[thread.core], ready_time)
+        clock += thread.pending_penalty
+        thread.pending_penalty = 0
+        self.machine.core_clock[thread.core] = clock
+        try:
+            op = thread.gen.send(thread.pending_value)
+        except StopIteration:
+            self._finish_thread(thread)
+            return
+        thread.pending_value = None
+        thread.ops += 1
+        cost, value, blocked = self._exec(thread, op)
+        if blocked:
+            return
+        self.machine.advance(thread.core, cost)
+        thread.cycles += cost
+        thread.pending_value = value
+        self._schedule(thread, self.machine.core_clock[thread.core])
+
+    def _finish_thread(self, thread):
+        thread.state = DONE
+        self.runtime.on_thread_exit(self, thread)
+        now = self.machine.core_clock[thread.core]
+        for tid in thread.joiners:
+            joiner = self.threads[tid]
+            if joiner.state == BLOCKED:
+                extra = self.runtime.on_sync_acquired(self, joiner, None,
+                                                      "join")
+                self._wake(joiner, now, extra)
+        thread.joiners = []
+
+    def _wake(self, thread, at_time, extra=0):
+        thread.blocked_on = None
+        self._schedule(thread, at_time + extra)
+
+    def _run_ticks(self):
+        now = self.machine.now
+        while self._next_tick is not None and now >= self._next_tick:
+            self.runtime.on_tick(self, self._next_tick)
+            self._next_tick += self.runtime.tick_cycles
+
+    # ------------------------------------------------------------------
+    # op execution
+    # ------------------------------------------------------------------
+    def _exec(self, thread, op):
+        """Execute one op; returns (cost, value_to_send, blocked)."""
+        if isinstance(op, O.Compute):
+            return op.cycles, None, False
+        if isinstance(op, (O.Load, O.Store, O.AtomicLoad, O.AtomicStore,
+                           O.AtomicRMW)):
+            return self._exec_access(thread, op)
+        if isinstance(op, O.BulkTouch):
+            return self._exec_bulk(thread, op)
+        if isinstance(op, O.RegionBegin):
+            thread.region_stack.append((op.kind, op.ordering))
+            cost = self.runtime.on_region_begin(self, thread, op.kind,
+                                                op.ordering)
+            return cost, None, False
+        if isinstance(op, O.RegionEnd):
+            if not thread.region_stack or \
+                    thread.region_stack[-1][0] != op.kind:
+                raise SimulationError(
+                    f"unbalanced region end {op.kind} in {thread}")
+            thread.region_stack.pop()
+            cost = self.runtime.on_region_end(self, thread, op.kind)
+            return cost, None, False
+        if isinstance(op, O.Fence):
+            return self.costs.fence, None, False
+        if isinstance(op, O.MutexLock):
+            return self._exec_lock(thread, op.mutex)
+        if isinstance(op, O.MutexUnlock):
+            return self._exec_unlock(thread, op.mutex)
+        if isinstance(op, O.BarrierWait):
+            return self._exec_barrier(thread, op.barrier)
+        if isinstance(op, O.CondWait):
+            return self._exec_cond_wait(thread, op.condvar, op.mutex)
+        if isinstance(op, O.CondSignal):
+            return self._exec_cond_signal(thread, op.condvar,
+                                          op.broadcast)
+        if isinstance(op, O.Malloc):
+            addr, cost = self.runtime.malloc(self, thread, op.size, op.align)
+            return cost, addr, False
+        if isinstance(op, O.FreeOp):
+            cost = self.runtime.free(self, thread, op.addr)
+            return cost, None, False
+        if isinstance(op, O.ThreadCreate):
+            child = self._create_thread(op.body, op.name, thread.process)
+            self.runtime.on_thread_created(self, child)
+            cost = 16_000                      # pthread_create
+            start = self.machine.core_clock[thread.core] + cost
+            self._schedule(child, start)
+            return cost, child.tid, False
+        if isinstance(op, O.ThreadJoin):
+            target = self.threads[op.tid]
+            if target.state == DONE:
+                extra = self.runtime.on_sync_acquired(self, thread, None,
+                                                      "join")
+                return 2_000 + extra, None, False
+            target.joiners.append(thread.tid)
+            thread.state = BLOCKED
+            thread.blocked_on = ("join", op.tid)
+            return 0, None, True
+        raise SimulationError(f"unknown op {op!r}")
+
+    def _exec_access(self, thread, op):
+        override = self.runtime.exec_access_override(self, thread, op)
+        if override is not None:
+            cost, value = override
+            return cost, value, False
+
+        machine = self.machine
+        is_write = isinstance(op, (O.Store, O.AtomicStore, O.AtomicRMW))
+        translation = self.runtime.translate(self, thread, op, op.addr,
+                                             op.width, is_write)
+        cost = translation.cost
+        cost += self.runtime.access_extra_cost(self, thread, op)
+        pa = translation.pa
+        value = None
+
+        if isinstance(op, O.AtomicRMW):
+            thread.atomics += 1
+            old = machine.physmem.read_int(pa, op.width)
+            if op.op == "add":
+                new = old + op.operand
+            elif op.op == "xchg":
+                new = op.operand
+            elif op.op == "cas":
+                new = op.operand if old == op.expected else old
+            else:
+                raise SimulationError(f"unknown RMW op {op.op!r}")
+            traffic, _ = machine.mem_access(
+                thread.core, thread.tid, op.site.pc, op.addr, pa,
+                op.width, True, new)
+            cost += traffic + self.costs.atomic_extra
+            value = old
+        elif is_write:
+            if isinstance(op, O.AtomicStore):
+                thread.atomics += 1
+                if op.ordering == O.SEQ_CST:
+                    cost += self.costs.fence
+            else:
+                thread.stores += 1
+            traffic, _ = machine.mem_access(
+                thread.core, thread.tid, op.site.pc, op.addr, pa,
+                op.width, True, op.value)
+            cost += traffic
+        else:
+            if isinstance(op, O.AtomicLoad):
+                thread.atomics += 1
+            else:
+                thread.loads += 1
+            traffic, value = machine.mem_access(
+                thread.core, thread.tid, op.site.pc, op.addr, pa,
+                op.width, False)
+            cost += traffic
+        return cost, value, False
+
+    def _exec_bulk(self, thread, op):
+        """Analytic streaming over a large range (native-input scale)."""
+        aspace = thread.process.aspace
+        mapping = aspace.mapping_at(op.addr)
+        if mapping is None or op.addr + op.nbytes > mapping.end:
+            raise SimulationError(
+                f"bulk touch [{op.addr:#x}+{op.nbytes:#x}] outside mapping")
+        faulted = getattr(mapping, "bulk_pages", None)
+        if faulted is None:
+            faulted = set()
+            mapping.bulk_pages = faulted
+        first = (op.addr - mapping.start) // mapping.page_size
+        last = (op.addr + op.nbytes - 1 - mapping.start) \
+            // mapping.page_size
+        fault_pages = 0
+        for index in range(first, last + 1):
+            if index not in faulted:
+                faulted.add(index)
+                fault_pages += 1
+        mapping.bulk_watermark = len(faulted) * mapping.page_size
+        per_fault = (self.costs.fault_shared_file
+                     if mapping.backing.file_backed else
+                     self.costs.fault_anon)
+        kind = ("shared_file" if mapping.backing.file_backed else "anon")
+        aspace.fault_count[kind] += fault_pages
+        lines = op.nbytes // 64
+        cost = fault_pages * per_fault + lines * self.costs.stream_per_line
+        thread.loads += 1
+        return cost, None, False
+
+    # ------------------------------------------------------------------
+    # locks and barriers
+    # ------------------------------------------------------------------
+    def _sync_traffic(self, thread, obj, is_write=True):
+        """Coherence traffic on the sync object's hot word."""
+        hot = obj.hot_addr
+        pa = thread.process.aspace.shared_pa(hot)
+        cost, _ = self.machine.mem_access(
+            thread.core, thread.tid, self._lock_site.pc, hot, pa,
+            obj.width, is_write, 1 if is_write else None)
+        return cost
+
+    def _exec_lock(self, thread, mutex):
+        thread.sync_ops += 1
+        mutex.acquire_count += 1
+        cost = self.costs.mutex_fast
+        cost += self.runtime.sync_cost_extra(self, thread, mutex)
+        cost += self._sync_traffic(thread, mutex)
+        if mutex.owner_tid is None:
+            mutex.owner_tid = thread.tid
+            cost += self.runtime.on_sync_acquired(self, thread, mutex,
+                                                  "lock")
+            return cost, None, False
+        mutex.contended_count += 1
+        mutex.waiters.append(thread.tid)
+        thread.state = BLOCKED
+        thread.blocked_on = mutex
+        self.machine.advance(thread.core, cost + self.costs.mutex_slow)
+        thread.cycles += cost + self.costs.mutex_slow
+        return 0, None, True
+
+    def _exec_unlock(self, thread, mutex):
+        if mutex.owner_tid != thread.tid:
+            raise SimulationError(
+                f"t{thread.tid} unlocking {mutex.name or mutex.mid} "
+                f"owned by {mutex.owner_tid}")
+        thread.sync_ops += 1
+        cost = self.costs.mutex_fast
+        cost += self.runtime.sync_cost_extra(self, thread, mutex)
+        cost += self.runtime.on_sync_release(self, thread, mutex, "unlock")
+        cost += self._sync_traffic(thread, mutex)
+        release_time = self.machine.core_clock[thread.core] + cost
+        if mutex.waiters:
+            next_tid = mutex.waiters.pop(0)
+            mutex.owner_tid = next_tid
+            woken = self.threads[next_tid]
+            extra = self.runtime.on_sync_acquired(self, woken, mutex,
+                                                  "lock")
+            self._wake(woken, release_time, extra)
+        else:
+            mutex.owner_tid = None
+        return cost, None, False
+
+    def _exec_barrier(self, thread, barrier):
+        thread.sync_ops += 1
+        barrier.wait_count += 1
+        cost = self.costs.barrier_op
+        cost += self.runtime.sync_cost_extra(self, thread, barrier)
+        cost += self.runtime.on_sync_release(self, thread, barrier,
+                                             "barrier")
+        cost += self._sync_traffic(thread, barrier)
+        arrive = self.machine.core_clock[thread.core] + cost
+        barrier.arrived.append((thread.tid, arrive))
+        if len(barrier.arrived) < barrier.parties:
+            thread.state = BLOCKED
+            thread.blocked_on = barrier
+            self.machine.advance(thread.core, cost)
+            thread.cycles += cost
+            return 0, None, True
+        release = max(at for _, at in barrier.arrived)
+        barrier.generation += 1
+        arrivals, barrier.arrived = barrier.arrived, []
+        for tid, _ in arrivals:
+            if tid == thread.tid:
+                continue
+            waiter = self.threads[tid]
+            extra = self.runtime.on_sync_acquired(self, waiter, barrier,
+                                                  "barrier")
+            self._wake(waiter, release, extra)
+        extra = self.runtime.on_sync_acquired(self, thread, barrier,
+                                              "barrier")
+        self.machine.core_clock[thread.core] = release + extra
+        thread.cycles += cost + extra
+        self._schedule(thread, release + extra)
+        # value already charged via explicit clock writes
+        return 0, None, True
+
+    def _exec_cond_wait(self, thread, condvar, mutex):
+        """Atomically release the mutex and sleep on the condvar; the
+        signaller hands the mutex back before the waiter resumes."""
+        if mutex.owner_tid != thread.tid:
+            raise SimulationError(
+                f"t{thread.tid} cond_wait without holding the mutex")
+        thread.sync_ops += 1
+        cost = self.costs.mutex_slow
+        cost += self.runtime.sync_cost_extra(self, thread, condvar)
+        cost += self.runtime.on_sync_release(self, thread, condvar,
+                                             "cond_wait")
+        cost += self._sync_traffic(thread, condvar)
+        release_time = self.machine.core_clock[thread.core] + cost
+        # release the mutex (as _exec_unlock, without hook duplication)
+        if mutex.waiters:
+            next_tid = mutex.waiters.pop(0)
+            mutex.owner_tid = next_tid
+            woken = self.threads[next_tid]
+            extra = self.runtime.on_sync_acquired(self, woken, mutex,
+                                                  "lock")
+            self._wake(woken, release_time, extra)
+        else:
+            mutex.owner_tid = None
+        condvar.waiters.append((thread.tid, mutex))
+        thread.state = BLOCKED
+        thread.blocked_on = condvar
+        self.machine.advance(thread.core, cost)
+        thread.cycles += cost
+        return 0, None, True
+
+    def _exec_cond_signal(self, thread, condvar, broadcast):
+        thread.sync_ops += 1
+        cost = self.costs.mutex_fast
+        cost += self.runtime.sync_cost_extra(self, thread, condvar)
+        cost += self._sync_traffic(thread, condvar)
+        signal_time = self.machine.core_clock[thread.core] + cost
+        count = len(condvar.waiters) if broadcast else 1
+        for _ in range(min(count, len(condvar.waiters))):
+            tid, mutex = condvar.waiters.pop(0)
+            waiter = self.threads[tid]
+            if mutex.owner_tid is None:
+                mutex.owner_tid = tid
+                extra = self.runtime.on_sync_acquired(
+                    self, waiter, mutex, "lock")
+                extra += self.runtime.on_sync_acquired(
+                    self, waiter, condvar, "cond_wake")
+                self._wake(waiter, signal_time, extra)
+            else:
+                # must re-acquire: queue on the mutex; its release path
+                # will wake and run the acquire hooks
+                waiter.blocked_on = mutex
+                mutex.waiters.append(tid)
+        return cost, None, False
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def _build_result(self):
+        machine = self.machine
+        faults = {"anon": 0, "shared_file": 0, "cow": 0}
+        for proc in self.processes.values():
+            for kind, count in proc.aspace.fault_count.items():
+                faults[kind] += count
+        threads = self.threads.values()
+        memory = {"application": self._app_memory_bytes()}
+        memory.update(self.runtime.memory_report(self))
+        validated = True
+        error = ""
+        if self.program.validate is not None:
+            try:
+                self.program.validate(self.program.env, self)
+            except AssertionError as exc:
+                validated = False
+                error = str(exc)
+        return RunResult(
+            program=self.program.name,
+            system=self.runtime.name,
+            cycles=machine.now,
+            seconds=machine.elapsed_seconds(),
+            hitm_loads=machine.directory.hitm_load_count,
+            hitm_stores=machine.directory.hitm_store_count,
+            sync_ops=sum(t.sync_ops for t in threads),
+            data_ops=sum(t.loads + t.stores + t.atomics for t in threads),
+            faults=faults,
+            alloc_bytes=self.allocator.allocated_bytes,
+            memory_bytes=memory,
+            runtime_report=self.runtime_report(),
+            env=dict(self.program.env),
+            validated=validated,
+            error=error,
+        )
+
+    def runtime_report(self):
+        report = getattr(self.runtime, "report", None)
+        if callable(report):
+            return report(self)
+        return {}
+
+    def _app_memory_bytes(self):
+        """Baseline application footprint: allocator arenas plus the
+        declared native-input streaming working set."""
+        touched = self.allocator.arena_bytes
+        for mapping in self.root_process.aspace.mappings():
+            touched += getattr(mapping, "bulk_watermark", 0)
+        return max(touched, self.program.features.footprint_bytes)
+
+    def read_memory(self, va, width, aspace=None):
+        """Debug/validation read through the always-shared view."""
+        aspace = aspace or self.root_process.aspace
+        return self.machine.physmem.read_int(aspace.shared_pa(va), width)

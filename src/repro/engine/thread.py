@@ -1,0 +1,76 @@
+"""Simulated threads and processes.
+
+A :class:`SimThread` is a Python generator plus an execution context:
+the core it runs on, the :class:`SimProcess` whose address space its
+accesses translate through, its code-centric region stack, and stats.
+
+Thread-to-process conversion — the heart of TMI's repair (section 3.2)
+— is literally ``thread.process = <new SimProcess with a forked address
+space>``; after that, per-page protection changes in the new space no
+longer affect other threads.
+"""
+
+from dataclasses import dataclass, field
+
+#: Thread states.
+READY = "ready"
+BLOCKED = "blocked"
+PARKED = "parked"       # stopped by ptrace
+DONE = "done"
+
+
+@dataclass(eq=False)
+class SimProcess:
+    """A process: a pid and an address space."""
+
+    pid: int
+    aspace: object
+    name: str = ""
+    threads: list = field(default_factory=list)
+    #: Installed by runtimes that maintain a PTSB for this process.
+    ptsb: object = None
+
+
+class SimThread:
+    """One simulated thread of execution."""
+
+    def __init__(self, tid, name, core, process, body):
+        self.tid = tid
+        self.name = name or f"t{tid}"
+        self.core = core
+        self.process = process
+        self.body = body
+        self.gen = None                 # generator, set by the engine
+        self.state = READY
+        self.ready_time = 0
+        self.pending_value = None       # sent into the generator next step
+        self.pending_penalty = 0        # cycles charged when next scheduled
+        self.region_stack = []          # [(kind, ordering)] innermost last
+        self.joiners = []               # tids blocked in join on us
+        self.blocked_on = None          # sync object or ('join', tid)
+        self.seq = 0                    # scheduler tiebreaker
+        # statistics
+        self.ops = 0
+        self.loads = 0
+        self.stores = 0
+        self.atomics = 0
+        self.sync_ops = 0
+        self.cycles = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_region(self):
+        """Innermost code-centric region, or None for regular code."""
+        return self.region_stack[-1] if self.region_stack else None
+
+    @property
+    def in_atomic_region(self):
+        return any(kind == "atomic" for kind, _ in self.region_stack)
+
+    @property
+    def in_asm_region(self):
+        return any(kind == "asm" for kind, _ in self.region_stack)
+
+    def __repr__(self):
+        return (f"SimThread({self.tid}, {self.name!r}, core={self.core}, "
+                f"pid={self.process.pid}, {self.state})")

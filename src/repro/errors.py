@@ -1,0 +1,83 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator, runtimes, or harness derives from
+:class:`ReproError` so callers can catch the package's failures with a
+single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The simulated machine reached an invalid state."""
+
+
+class SegmentationFault(SimulationError):
+    """An access touched an unmapped or permission-violating address.
+
+    This is the simulated analog of SIGSEGV *escaping* to the process: a
+    fault that no installed fault handler resolved.
+    """
+
+    def __init__(self, va, is_write, reason):
+        self.va = va
+        self.is_write = is_write
+        self.reason = reason
+        access = "write" if is_write else "read"
+        super().__init__(f"segfault: {access} at {va:#x}: {reason}")
+
+
+class InvalidMappingError(SimulationError):
+    """An mmap/mprotect/munmap call had invalid arguments."""
+
+
+class AllocationError(ReproError):
+    """The memory allocator could not satisfy a request."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable thread exists but unfinished threads remain."""
+
+    def __init__(self, blocked_tids, message="deadlock: all threads blocked"):
+        self.blocked_tids = tuple(blocked_tids)
+        super().__init__(f"{message}: tids={self.blocked_tids}")
+
+
+class HangError(SimulationError):
+    """A thread exceeded its liveness bound (simulated hang).
+
+    Used to reproduce the paper's Figure 12: under a PTSB without
+    code-centric consistency, cholesky's flag-based synchronization spins
+    forever.  The engine converts an out-of-budget spin loop into this
+    exception so the condition is testable.
+    """
+
+    def __init__(self, tid, detail):
+        self.tid = tid
+        self.detail = detail
+        super().__init__(f"thread {tid} hang detected: {detail}")
+
+
+class IncompatibleWorkloadError(ReproError):
+    """A runtime system cannot run a workload (e.g. Sheriff on leveldb)."""
+
+    def __init__(self, system, workload, reason):
+        self.system = system
+        self.workload = workload
+        self.reason = reason
+        super().__init__(f"{system} incompatible with {workload}: {reason}")
+
+
+class PtraceError(ReproError):
+    """An invalid ptrace request (bad state transition, unknown thread)."""
+
+
+class ConsistencyViolationError(SimulationError):
+    """A runtime broke memory consistency rules it promised to uphold.
+
+    Raised by the consistency checker when, e.g., a PTSB is active inside
+    an atomic or assembly region under a runtime that claims code-centric
+    consistency (paper Table 2, shaded cells only permit PTSB use).
+    """

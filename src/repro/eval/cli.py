@@ -1,0 +1,101 @@
+"""Command-line interface for the evaluation harness.
+
+Regenerate any paper artifact without pytest::
+
+    python -m repro.eval.cli figure9 --scale 1.0
+    python -m repro.eval.cli table3
+    python -m repro.eval.cli run histogramfs tmi-protect --scale 0.5
+    python -m repro.eval.cli list
+"""
+
+import argparse
+import sys
+
+from repro.eval import experiments
+from repro.eval.runner import run_workload
+from repro.eval.systems import SYSTEM_NAMES
+from repro.workloads import all_names
+
+#: Experiments exposed on the command line.
+EXPERIMENTS = {
+    "table1": experiments.table1,
+    "table2": experiments.table2,
+    "table3": experiments.table3,
+    "figure4": experiments.figure4,
+    "figure7": experiments.figure7,
+    "figure8": experiments.figure8,
+    "figure9": experiments.figure9,
+    "figure10": experiments.figure10,
+    "ablation-ptsb": experiments.ablation_ptsb_everywhere,
+    "ablation-alloc": experiments.ablation_allocator,
+    "ablation-huge-commit": experiments.ablation_huge_commit,
+    "ablation-code-centric": experiments.ablation_code_centric,
+}
+
+#: Experiments whose signature takes no scale.
+_NO_SCALE = {"table2"}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro.eval",
+        description="Regenerate the TMI paper's tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in EXPERIMENTS:
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        if name not in _NO_SCALE:
+            cmd.add_argument("--scale", type=float, default=None,
+                            help="workload scale (default per experiment)")
+        cmd.add_argument("--no-save", action="store_true",
+                        help="don't write results/<name>.txt")
+
+    run = sub.add_parser("run", help="run one workload under one system")
+    run.add_argument("workload", choices=sorted(all_names()))
+    run.add_argument("system", choices=sorted(SYSTEM_NAMES))
+    run.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("list", help="list workloads and systems")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("workloads:", ", ".join(all_names()))
+        print("systems:  ", ", ".join(SYSTEM_NAMES))
+        return 0
+
+    if args.command == "run":
+        outcome = run_workload(args.workload, args.system,
+                               scale=args.scale)
+        print(f"{args.workload} under {args.system}: {outcome.status}")
+        if outcome.result is not None:
+            result = outcome.result
+            print(f"  runtime : {result.seconds * 1e3:.3f} ms "
+                  f"({result.cycles} cycles)")
+            print(f"  HITM    : {result.hitm_total} "
+                  f"(loads {result.hitm_loads}, "
+                  f"stores {result.hitm_stores})")
+            print(f"  sync ops: {result.sync_ops}   "
+                  f"data ops: {result.data_ops}")
+            if result.runtime_report:
+                print(f"  report  : {result.runtime_report}")
+        if outcome.detail:
+            print(f"  detail  : {outcome.detail}")
+        return 0 if outcome.ok else 1
+
+    fn = EXPERIMENTS[args.command]
+    kwargs = {}
+    if args.command not in _NO_SCALE and args.scale is not None:
+        kwargs["scale"] = args.scale
+    result = fn(**kwargs)
+    print(result.text)
+    if not args.no_save:
+        print(f"[saved {result.save()}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

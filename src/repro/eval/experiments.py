@@ -1,0 +1,435 @@
+"""One entry point per table/figure of the paper's evaluation.
+
+Each function runs the required (workload x system) grid and returns an
+:class:`ExperimentResult` holding both structured data and the rendered
+paper-style table.  Scales default to values that keep a full
+regeneration in minutes; pass ``scale=1.0`` for the sized-up runs
+recorded in EXPERIMENTS.md.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TmiConfig
+from repro.core.consistency import TABLE2
+from repro.eval.charts import bar_chart
+from repro.eval.report import format_table, geomean, save_text
+from repro.eval.runner import run_matrix, run_workload
+from repro.workloads import figure7_names, repair_suite_names
+
+MB = 1024 * 1024
+
+
+@dataclass
+class ExperimentResult:
+    name: str
+    data: dict
+    text: str
+    notes: list = field(default_factory=list)
+
+    def save(self):
+        return save_text(f"{self.name}.txt", self.text)
+
+
+def _norm(outcome, baseline_cycles):
+    """Normalized runtime (x over baseline; lower is better)."""
+    if not outcome.ok:
+        return None
+    return outcome.result.cycles / baseline_cycles
+
+
+def _cell(value, status=""):
+    if value is None:
+        return status or "--"
+    return value
+
+
+# ----------------------------------------------------------------------
+# Figure 4: perf sample-period sweep on leveldb
+# ----------------------------------------------------------------------
+def figure4(scale=2.0, periods=(1, 5, 10, 50, 100, 1000)):
+    """Runtime and recorded HITM events vs. perf period on leveldb."""
+    rows = []
+    data = {"periods": {}, "workload": "leveldb"}
+    for period in periods:
+        config = TmiConfig(period=period)
+        outcome = run_workload("leveldb", "tmi-detect", scale=scale,
+                               config=config)
+        report = outcome.result.runtime_report
+        entry = {
+            "runtime_s": outcome.result.seconds,
+            "records": report["perf_records"],
+            "estimated_events": report["perf_estimated_events"],
+            "events_seen": report["perf_events_seen"],
+        }
+        data["periods"][period] = entry
+        rows.append((period, round(entry["runtime_s"] * 1e3, 2),
+                     entry["records"], entry["estimated_events"],
+                     entry["events_seen"]))
+    text = format_table(
+        ["period", "runtime (ms)", "records", "estimated", "actual"],
+        rows,
+        title="Figure 4: leveldb runtime and HITM events vs perf period")
+    return ExperimentResult("figure4", data, text)
+
+
+# ----------------------------------------------------------------------
+# Figure 7: detection overhead across all 35 workloads
+# ----------------------------------------------------------------------
+def figure7(scale=0.25, workloads=None):
+    """Normalized runtime of sheriff-detect / tmi-alloc / tmi-detect."""
+    workloads = workloads or figure7_names()
+    systems = ["pthreads", "sheriff-detect", "tmi-alloc", "tmi-detect"]
+    grid = run_matrix(workloads, systems, scale=scale)
+    rows = []
+    data = {"workloads": {}, "scale": scale}
+    per_system = {s: [] for s in systems[1:]}
+    sheriff_works = 0
+    for name in workloads:
+        base = grid[name]["pthreads"]
+        assert base.ok, f"baseline failed on {name}: {base.detail}"
+        row = [name]
+        entry = {}
+        for system in systems[1:]:
+            outcome = grid[name][system]
+            norm = _norm(outcome, base.result.cycles)
+            entry[system] = {"norm": norm, "status": outcome.status}
+            row.append(_cell(norm, outcome.status))
+            if norm is not None:
+                per_system[system].append(norm)
+        if grid[name]["sheriff-detect"].ok:
+            sheriff_works += 1
+        data["workloads"][name] = entry
+        rows.append(row)
+    summary = ["geomean"]
+    for system in systems[1:]:
+        summary.append(geomean(per_system[system]))
+    rows.append(summary)
+    data["geomean"] = {s: geomean(per_system[s]) for s in systems[1:]}
+    data["sheriff_compatible"] = sheriff_works
+    data["tmi_detect_overhead_pct"] = \
+        (data["geomean"]["tmi-detect"] - 1) * 100
+    text = format_table(
+        ["workload", "sheriff-detect", "tmi-alloc", "tmi-detect"],
+        rows,
+        title=("Figure 7: runtime normalized to pthreads+Lockless "
+               "(lower is better)"))
+    chart_rows = [
+        (name, entry["tmi-detect"]["norm"],
+         entry["tmi-detect"]["status"]
+         if entry["tmi-detect"]["norm"] is None else "")
+        for name, entry in data["workloads"].items()]
+    text += "\n\n" + bar_chart("tmi-detect normalized runtime",
+                                chart_rows, baseline=1.0)
+    return ExperimentResult("figure7", data, text)
+
+
+# ----------------------------------------------------------------------
+# Figure 8: memory overhead
+# ----------------------------------------------------------------------
+def figure8(scale=0.25, workloads=None):
+    """Memory usage (MB): pthreads vs TMI-full."""
+    workloads = workloads or figure7_names()
+    rows = []
+    data = {"workloads": {}}
+    overheads = []
+    for name in workloads:
+        base = run_workload(name, "pthreads", scale=scale)
+        tmi = run_workload(name, "tmi-protect", scale=scale)
+        base_mb = base.result.total_memory / MB
+        tmi_mb = tmi.result.total_memory / MB if tmi.ok else None
+        data["workloads"][name] = {"pthreads_mb": base_mb,
+                                   "tmi_mb": tmi_mb}
+        if tmi_mb and base_mb > 64:
+            overheads.append(tmi_mb / base_mb)
+        rows.append((name, round(base_mb, 1),
+                     _cell(round(tmi_mb, 1) if tmi_mb else None)))
+    data["large_workload_overhead"] = geomean(overheads)
+    text = format_table(
+        ["workload", "pthreads (MB)", "TMI-full (MB)"], rows,
+        title="Figure 8: memory usage (MB, absolute)")
+    return ExperimentResult("figure8", data, text)
+
+
+# ----------------------------------------------------------------------
+# Figure 9 + Table 3: repair speedups and characterization
+# ----------------------------------------------------------------------
+def figure9(scale=0.6, workloads=None):
+    """Speedup over pthreads for manual / sheriff-protect / LASER /
+    TMI-protect on the false-sharing suite."""
+    workloads = workloads or repair_suite_names()
+    systems = ["pthreads", "manual", "sheriff-protect", "laser",
+               "tmi-protect"]
+    grid = run_matrix(workloads, systems, scale=scale)
+    rows = []
+    data = {"workloads": {}, "scale": scale}
+    speedups = {s: [] for s in systems[1:]}
+    for name in workloads:
+        base = grid[name]["pthreads"]
+        row = [name]
+        entry = {}
+        for system in systems[1:]:
+            outcome = grid[name][system]
+            speedup = (base.result.cycles / outcome.result.cycles
+                       if outcome.ok else None)
+            entry[system] = {"speedup": speedup,
+                             "status": outcome.status}
+            row.append(_cell(speedup, outcome.status))
+            if speedup is not None:
+                speedups[system].append(speedup)
+        data["workloads"][name] = entry
+        data["workloads"][name]["tmi_report"] = (
+            grid[name]["tmi-protect"].result.runtime_report
+            if grid[name]["tmi-protect"].ok else {})
+        rows.append(row)
+    rows.append(["geomean"] + [geomean(speedups[s]) for s in systems[1:]])
+    data["geomean"] = {s: geomean(speedups[s]) for s in systems[1:]}
+    manual = data["geomean"]["manual"]
+    data["tmi_pct_of_manual"] = (
+        100 * data["geomean"]["tmi-protect"] / manual if manual else 0)
+    data["laser_pct_of_manual"] = (
+        100 * data["geomean"]["laser"] / manual if manual else 0)
+    text = format_table(
+        ["workload", "manual", "sheriff-protect", "LASER",
+         "TMI-protect"], rows,
+        title="Figure 9: speedup over pthreads (higher is better)")
+    chart_rows = []
+    for name in workloads:
+        for system in ("manual", "tmi-protect"):
+            entry = data["workloads"][name][system]
+            chart_rows.append((f"{name} [{system}]", entry["speedup"],
+                               entry["status"] if entry["speedup"] is None
+                               else ""))
+    text += "\n\n" + bar_chart("speedup over pthreads", chart_rows,
+                                baseline=1.0)
+    return ExperimentResult("figure9", data, text)
+
+
+def table3(scale=0.6, workloads=None, figure9_result=None):
+    """Unrepaired time, T2P latency, and commit rate per repaired app."""
+    workloads = workloads or repair_suite_names()
+    rows = []
+    data = {}
+    for name in workloads:
+        if figure9_result is not None:
+            report = figure9_result.data["workloads"][name]["tmi_report"]
+        else:
+            outcome = run_workload(name, "tmi-protect", scale=scale)
+            report = outcome.result.runtime_report if outcome.ok else {}
+        entry = {
+            "unrepaired_s": report.get("unrepaired_intervals", 0),
+            "t2p_us": report.get("t2p_us", 0.0),
+            "commits_per_s": report.get("commits_per_interval", 0.0),
+        }
+        data[name] = entry
+        rows.append((name, entry["unrepaired_s"], entry["t2p_us"],
+                     entry["commits_per_s"]))
+    text = format_table(
+        ["app", "unrepaired (s*)", "T2P (us)", "commits/s*"], rows,
+        title=("Table 3: repair characterization "
+               "(* one detection interval = one scaled second)"))
+    return ExperimentResult("table3", data, text)
+
+
+# ----------------------------------------------------------------------
+# Figure 10: 4KB vs 2MB huge pages
+# ----------------------------------------------------------------------
+def figure10(scale=1.0, workloads=None):
+    """Overhead of 4KB pages relative to 2MB huge pages for TMI's
+    process-shared file-backed region."""
+    workloads = workloads or figure7_names()
+    rows = []
+    data = {"workloads": {}}
+    ratios = []
+    for name in workloads:
+        small = run_workload(name, "tmi-detect", scale=scale,
+                             config=TmiConfig(huge_pages=False))
+        huge = run_workload(name, "tmi-detect", scale=scale,
+                            config=TmiConfig(huge_pages=True))
+        pct = (small.result.cycles / huge.result.cycles - 1) * 100
+        data["workloads"][name] = {"overhead_pct": pct}
+        ratios.append(small.result.cycles / huge.result.cycles)
+        rows.append((name, round(pct, 1)))
+    data["huge_page_speedup_pct"] = (geomean(ratios) - 1) * 100
+    rows.append(("geomean", round(data["huge_page_speedup_pct"], 1)))
+    text = format_table(
+        ["workload", "4KB overhead vs 2MB (%)"], rows,
+        title="Figure 10: 4KB page overhead relative to 2MB huge pages")
+    chart_rows = [(name, max(entry["overhead_pct"], 0.0), "")
+                  for name, entry in data["workloads"].items()]
+    text += "\n\n" + bar_chart("4KB overhead vs 2MB (%)", chart_rows,
+                                unit="%")
+    return ExperimentResult("figure10", data, text)
+
+
+# ----------------------------------------------------------------------
+# Table 1: the requirements matrix
+# ----------------------------------------------------------------------
+def table1(figure7_result=None, figure9_result=None, scale=0.25):
+    """Compatibility / consistency / overhead / % of manual speedup."""
+    fig7 = figure7_result or figure7(scale=scale)
+    fig9 = figure9_result or figure9(scale=max(scale, 0.5))
+    manual = fig9.data["geomean"]["manual"]
+
+    def pct_of_manual(system):
+        value = fig9.data["geomean"].get(system)
+        return round(100 * value / manual, 0) if value and manual else 0
+
+    sheriff_compat = fig7.data["sheriff_compatible"]
+    total = len(fig7.data["workloads"])
+    data = {
+        "sheriff": {
+            "compatible": f"{sheriff_compat}/{total} workloads",
+            "memory_consistency": False,
+            "overhead_pct": round(
+                (fig7.data["geomean"]["sheriff-detect"] - 1) * 100, 1),
+            "pct_manual": pct_of_manual("sheriff-protect"),
+        },
+        "laser": {
+            "compatible": "yes",
+            "memory_consistency": True,
+            "overhead_pct": 2.0,
+            "pct_manual": pct_of_manual("laser"),
+        },
+        "tmi": {
+            "compatible": "yes",
+            "memory_consistency": True,
+            "overhead_pct": round(
+                (fig7.data["geomean"]["tmi-detect"] - 1) * 100, 1),
+            "pct_manual": pct_of_manual("tmi-protect"),
+        },
+    }
+    rows = [
+        ("compatible", data["sheriff"]["compatible"], "yes", "yes"),
+        ("memory consistency", "no", "yes", "yes"),
+        ("overhead w/o contention",
+         f"{data['sheriff']['overhead_pct']}%",
+         f"{data['laser']['overhead_pct']}%",
+         f"{data['tmi']['overhead_pct']}%"),
+        ("% of manual speedup",
+         f"{data['sheriff']['pct_manual']:.0f}%",
+         f"{data['laser']['pct_manual']:.0f}%",
+         f"{data['tmi']['pct_manual']:.0f}%"),
+    ]
+    text = format_table(["requirement", "Sheriff", "LASER", "TMI"], rows,
+                        title="Table 1: requirements for effective "
+                              "false sharing repair")
+    return ExperimentResult("table1", data, text)
+
+
+# ----------------------------------------------------------------------
+# Table 2: consistency semantics (static, from the model)
+# ----------------------------------------------------------------------
+def table2():
+    """Render the code-centric consistency interaction matrix."""
+    kinds = ("regular", "atomic", "asm")
+    rows = []
+    for a in kinds:
+        row = [a]
+        for b in kinds:
+            semantics, permitted = TABLE2[frozenset([a, b])]
+            row.append(f"{semantics}{' [PTSB]' if permitted else ''}")
+        rows.append(row)
+    text = format_table(["", "regular", "atomic", "x86 asm"], rows,
+                        title=("Table 2: semantics of concurrent "
+                               "conflicting accesses ([PTSB] = PTSB "
+                               "use permitted)"))
+    return ExperimentResult("table2", {"table": dict(
+        (",".join(sorted(k)), v) for k, v in
+        ((tuple(key), value) for key, value in TABLE2.items()))}, text)
+
+
+# ----------------------------------------------------------------------
+# Ablations (section 4.3 and 4.4 call-outs)
+# ----------------------------------------------------------------------
+def ablation_ptsb_everywhere(scale=0.6,
+                             workloads=("histogram", "histogramfs")):
+    """Targeted repair vs. protecting all of memory (section 4.3)."""
+    rows = []
+    data = {}
+    for name in workloads:
+        base = run_workload(name, "pthreads", scale=scale)
+        targeted = run_workload(name, "tmi-protect", scale=scale)
+        everywhere = run_workload(
+            name, "tmi-protect", scale=scale,
+            config=TmiConfig(targeted=False))
+        s_t = base.result.cycles / targeted.result.cycles
+        s_e = base.result.cycles / everywhere.result.cycles
+        data[name] = {"targeted": s_t, "everywhere": s_e}
+        rows.append((name, s_t, s_e))
+    text = format_table(
+        ["workload", "targeted speedup", "PTSB-everywhere speedup"],
+        rows, title="Ablation: targeted repair vs PTSB-everywhere")
+    return ExperimentResult("ablation_ptsb", data, text)
+
+
+def ablation_allocator(scale=0.25,
+                       workloads=("kmeans", "reverse", "dedup",
+                                  "wordcount", "histogram")):
+    """Lockless vs glibc-style allocator (section 4.1: ~16%)."""
+    rows = []
+    ratios = []
+    data = {}
+    for name in workloads:
+        lockless = run_workload(name, "pthreads", scale=scale)
+        glibc = run_workload(name, "glibc", scale=scale)
+        ratio = glibc.result.cycles / lockless.result.cycles
+        data[name] = ratio
+        ratios.append(ratio)
+        rows.append((name, ratio))
+    data["geomean"] = geomean(ratios)
+    rows.append(("geomean", data["geomean"]))
+    text = format_table(
+        ["workload", "glibc / lockless runtime"], rows,
+        title="Ablation: allocator choice (paper: Lockless ~16% faster)")
+    return ExperimentResult("ablation_alloc", data, text)
+
+
+def ablation_huge_commit(scale=0.6, workload="histogramfs"):
+    """Huge-page commit memcmp prefilter on vs off (section 4.4).
+
+    Forces paper-literal 2 MB page protection (no 4 KB split) so the
+    commit path actually diffs whole huge pages.
+    """
+    on = run_workload(workload, "tmi-protect", scale=scale,
+                      config=TmiConfig(huge_pages=True,
+                                       repair_page_split=False,
+                                       huge_commit_optimization=True))
+    off = run_workload(workload, "tmi-protect", scale=scale,
+                       config=TmiConfig(huge_pages=True,
+                                        repair_page_split=False,
+                                        huge_commit_optimization=False))
+    data = {"optimized_cycles": on.result.cycles,
+            "unoptimized_cycles": off.result.cycles,
+            "benefit_pct": (off.result.cycles / on.result.cycles - 1)
+            * 100}
+    text = format_table(
+        ["configuration", "cycles"],
+        [("memcmp prefilter ON", on.result.cycles),
+         ("memcmp prefilter OFF", off.result.cycles)],
+        title=f"Ablation: huge-page commit optimization ({workload})")
+    return ExperimentResult("ablation_huge_commit", data, text)
+
+
+def ablation_code_centric(scale=0.6, workload="shptr-relaxed"):
+    """Code-centric consistency on vs off for relaxed atomics."""
+    base = run_workload(workload, "pthreads", scale=scale)
+    with_cc = run_workload(workload, "tmi-protect", scale=scale)
+    no_relaxed = run_workload(
+        workload, "tmi-protect", scale=scale,
+        config=TmiConfig(extra={"flush_relaxed": True}))
+    data = {
+        "with_cc_speedup": base.result.cycles / with_cc.result.cycles,
+        "relaxed_fast_path": with_cc.result.runtime_report.get(
+            "relaxed_fast_path", 0),
+    }
+    rows = [("code-centric (relaxed fast path)",
+             data["with_cc_speedup"])]
+    if no_relaxed.ok:
+        data["without_speedup"] = (base.result.cycles
+                                   / no_relaxed.result.cycles)
+        rows.append(("conservative (flush on relaxed)",
+                     data["without_speedup"]))
+    text = format_table(["configuration", "speedup over pthreads"], rows,
+                        title="Ablation: code-centric consistency on "
+                              f"{workload}")
+    return ExperimentResult("ablation_code_centric", data, text)

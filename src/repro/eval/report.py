@@ -1,0 +1,53 @@
+"""Plain-text table rendering and results persistence."""
+
+import os
+
+
+def format_table(headers, rows, title=""):
+    """Render an aligned text table (the harness's figure/table output)."""
+    cells = [list(map(str, headers))]
+    for row in rows:
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def geomean(values):
+    """Geometric mean of positive values (the paper's averaging)."""
+    values = [v for v in values if v and v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def results_dir():
+    """results/ directory next to the repo root (created on demand)."""
+    path = os.environ.get("REPRO_RESULTS_DIR",
+                          os.path.join(os.getcwd(), "results"))
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_text(name, text):
+    """Persist a rendered table under results/."""
+    path = os.path.join(results_dir(), name)
+    with open(path, "w") as fh:
+        fh.write(text if text.endswith("\n") else text + "\n")
+    return path

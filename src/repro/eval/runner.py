@@ -1,0 +1,72 @@
+"""Run (workload, system) pairs and collect outcomes.
+
+Failures are first-class results: Sheriff refusing a native input,
+hanging on cholesky, or corrupting canneal are *findings* the paper
+reports, not harness errors.
+"""
+
+from dataclasses import dataclass
+
+from repro.engine import Engine
+from repro.errors import (DeadlockError, HangError,
+                          IncompatibleWorkloadError)
+from repro.eval.systems import make_runtime, workload_variant
+from repro.workloads import get as get_workload
+
+OK = "ok"
+INCOMPATIBLE = "incompatible"
+HANG = "hang"
+INVALID = "invalid"
+
+
+@dataclass
+class RunOutcome:
+    """One (workload, system) execution."""
+
+    workload: str
+    system: str
+    status: str
+    result: object = None          # RunResult when status != incompatible
+    detail: str = ""
+
+    @property
+    def ok(self):
+        return self.status == OK
+
+    @property
+    def cycles(self):
+        return self.result.cycles if self.result else None
+
+
+def run_workload(name, system, scale=1.0, config=None, variant=None,
+                 nthreads=None):
+    """Run one workload under one system; never raises for the failure
+    modes the paper studies."""
+    workload = get_workload(name, scale=scale, nthreads=nthreads)
+    program = workload.build(variant or workload_variant(system))
+    runtime = make_runtime(system, config)
+    try:
+        engine = Engine(program, runtime)
+    except IncompatibleWorkloadError as exc:
+        return RunOutcome(name, system, INCOMPATIBLE, detail=exc.reason)
+    try:
+        result = engine.run()
+    except HangError as exc:
+        return RunOutcome(name, system, HANG, detail=str(exc))
+    except (DeadlockError, AssertionError) as exc:
+        return RunOutcome(name, system, INVALID, detail=str(exc))
+    if not result.validated:
+        return RunOutcome(name, system, INVALID, result=result,
+                          detail=result.error)
+    return RunOutcome(name, system, OK, result=result)
+
+
+def run_matrix(workloads, systems, scale=1.0, config=None):
+    """{workload: {system: RunOutcome}} over the cross product."""
+    grid = {}
+    for name in workloads:
+        grid[name] = {}
+        for system in systems:
+            grid[name][system] = run_workload(name, system, scale=scale,
+                                              config=config)
+    return grid

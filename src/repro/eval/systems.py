@@ -1,0 +1,51 @@
+"""Registry of runtime systems the evaluation compares.
+
+Names follow the paper's figures: ``pthreads`` (baseline, Lockless
+allocator), ``glibc`` (allocator ablation), ``tmi-alloc`` /
+``tmi-detect`` / ``tmi-protect``, ``sheriff-detect`` /
+``sheriff-protect``, ``laser``, and ``manual`` (pthreads running the
+source-fixed workload variant).
+"""
+
+from repro.baselines.laser import LaserRuntime
+from repro.baselines.pthreads import PthreadsRuntime
+from repro.baselines.sheriff import SheriffRuntime
+from repro.core.config import TmiConfig
+from repro.core.runtime import TmiRuntime
+
+#: Systems that run the FIXED workload variant.
+SOURCE_FIX_SYSTEMS = ("manual",)
+
+SYSTEM_NAMES = ("pthreads", "glibc", "manual", "tmi-alloc", "tmi-detect",
+                "tmi-protect", "sheriff-detect", "sheriff-protect",
+                "laser")
+
+
+def make_runtime(system, config=None):
+    """Instantiate the runtime for a system name.
+
+    ``config`` (a :class:`TmiConfig`) parameterizes TMI and LASER; the
+    others ignore it.
+    """
+    if system in ("pthreads", "manual"):
+        return PthreadsRuntime()
+    if system == "glibc":
+        return PthreadsRuntime(allocator_kind="glibc")
+    if system == "tmi-alloc":
+        return TmiRuntime("alloc", config or TmiConfig())
+    if system == "tmi-detect":
+        return TmiRuntime("detect", config or TmiConfig())
+    if system == "tmi-protect":
+        return TmiRuntime("protect", config or TmiConfig())
+    if system == "sheriff-detect":
+        return SheriffRuntime("detect")
+    if system == "sheriff-protect":
+        return SheriffRuntime("protect")
+    if system == "laser":
+        return LaserRuntime(config or TmiConfig())
+    raise KeyError(f"unknown system {system!r}; known: {SYSTEM_NAMES}")
+
+
+def workload_variant(system):
+    """Which workload variant a system runs."""
+    return "fixed" if system in SOURCE_FIX_SYSTEMS else "default"

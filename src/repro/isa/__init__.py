@@ -1,0 +1,18 @@
+"""Tiny simulated ISA: operation types, binary images, disassembly."""
+
+from repro.isa.binary import Binary, TEXT_BASE
+from repro.isa.disasm import DecodedInstr, Disassembler
+from repro.isa.ops import (ACQ_REL, AtomicLoad, AtomicRMW, AtomicStore,
+                           BarrierWait, BulkTouch, Compute, Fence, FreeOp,
+                           InstrSite, Load, Malloc, MutexLock, MutexUnlock,
+                           REGION_ASM, REGION_ATOMIC, RegionBegin, RegionEnd,
+                           RELAXED, SEQ_CST, Store, ThreadCreate, ThreadJoin)
+
+__all__ = [
+    "Binary", "TEXT_BASE", "DecodedInstr", "Disassembler", "ACQ_REL",
+    "AtomicLoad", "AtomicRMW", "AtomicStore", "BarrierWait", "BulkTouch",
+    "Compute", "Fence", "FreeOp", "InstrSite", "Load", "Malloc",
+    "MutexLock", "MutexUnlock", "REGION_ASM", "REGION_ATOMIC",
+    "RegionBegin", "RegionEnd", "RELAXED", "SEQ_CST", "Store",
+    "ThreadCreate", "ThreadJoin",
+]

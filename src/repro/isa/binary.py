@@ -1,0 +1,69 @@
+"""The application "binary": a registry of static instruction sites.
+
+Workloads declare their loads/stores up front, mirroring a compiled text
+segment.  The detector's disassembler reads this image to recover, from
+a PEBS record's PC, whether the access was a load or a store and how
+wide it was — information the PEBS record itself does not carry
+(paper sections 2.1 and 3.1).
+"""
+
+from repro.errors import ReproError
+from repro.isa.ops import InstrSite
+
+#: Base of the text segment; instruction slots are 4 bytes apart.
+TEXT_BASE = 0x400000
+_SLOT = 4
+
+
+class Binary:
+    """Instruction-site registry for one workload."""
+
+    def __init__(self, name):
+        self.name = name
+        self._sites = []
+        self._by_pc = {}
+        self._auto = {}
+
+    # ------------------------------------------------------------------
+    # site declaration (the workload's "compilation")
+    # ------------------------------------------------------------------
+    def site(self, kind, width, label=""):
+        """Register a static instruction; returns its :class:`InstrSite`."""
+        if kind not in ("load", "store", "atomic", "other"):
+            raise ReproError(f"unknown instruction kind {kind!r}")
+        pc = TEXT_BASE + len(self._sites) * _SLOT
+        site = InstrSite(pc=pc, label=label or f"{kind}{len(self._sites)}",
+                         kind=kind, width=width)
+        self._sites.append(site)
+        self._by_pc[pc] = site
+        return site
+
+    def load_site(self, label="", width=8):
+        return self.site("load", width, label)
+
+    def store_site(self, label="", width=8):
+        return self.site("store", width, label)
+
+    def atomic_site(self, label="", width=8):
+        return self.site("atomic", width, label)
+
+    def auto_site(self, kind, width):
+        """Shared anonymous site for contexts that did not declare one."""
+        key = (kind, width)
+        if key not in self._auto:
+            self._auto[key] = self.site(kind, width, f"auto_{kind}{width}")
+        return self._auto[key]
+
+    # ------------------------------------------------------------------
+    # binary-image queries (what a disassembler can see)
+    # ------------------------------------------------------------------
+    def lookup(self, pc):
+        """The site at ``pc``, or None for an unknown PC."""
+        return self._by_pc.get(pc)
+
+    def sites(self):
+        return list(self._sites)
+
+    @property
+    def static_instruction_count(self):
+        return len(self._sites)

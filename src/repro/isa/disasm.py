@@ -1,0 +1,61 @@
+"""Disassembler used by the false sharing detector.
+
+The real TMI disassembles the application binary at detector start-up to
+learn which instruction addresses are loads or stores and each access's
+width; this distinguishes true sharing from false sharing from nothing
+but sampled PCs and data addresses (paper section 3.1).
+
+Our analog walks the workload's :class:`~repro.isa.binary.Binary` image.
+The detector is only allowed to use this interface — never the
+simulator's ground truth.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DecodedInstr:
+    """What disassembly reveals about one PC."""
+
+    pc: int
+    is_load: bool
+    is_store: bool
+    width: int
+    label: str
+
+
+class Disassembler:
+    """Static-analysis view over a workload binary."""
+
+    def __init__(self, binary):
+        self._binary = binary
+        self._cache = {}
+
+    def decode(self, pc):
+        """Decode one PC; returns None for addresses outside the text
+        segment (e.g. JIT pages or bogus PEBS skid)."""
+        if pc in self._cache:
+            return self._cache[pc]
+        site = self._binary.lookup(pc)
+        if site is None:
+            decoded = None
+        else:
+            decoded = DecodedInstr(
+                pc=pc,
+                is_load=site.kind == "load",
+                is_store=site.kind in ("store", "atomic"),
+                width=site.width,
+                label=site.label,
+            )
+        self._cache[pc] = decoded
+        return decoded
+
+    def analyze_all(self):
+        """Decode the whole text segment (detector start-up task).
+
+        Returns the decode table; its size drives the detector's memory
+        accounting (Figure 8 attributes most overhead to these
+        structures).
+        """
+        return {site.pc: self.decode(site.pc) for site in
+                self._binary.sites()}

@@ -1,0 +1,183 @@
+"""Operations of the simulated instruction set.
+
+Workload thread bodies are Python generators that *yield* these ops; the
+engine executes each against the machine and sends results back.  This
+gives the reproduction per-access interception — the thing a Python
+harness cannot do to native code — inside the simulator.
+
+Each data access carries an :class:`InstrSite` (its static instruction):
+the PC recorded in PEBS samples and consumed by the disassembler when the
+detector classifies accesses (paper section 3.1).
+
+Region markers (``RegionBegin``/``RegionEnd``) are the code-centric
+consistency callbacks of section 3.4.2 — in the paper an LLVM pass
+inserts them; here workload "compilation" emits them around atomic and
+inline-assembly code.
+"""
+
+from dataclasses import dataclass, field
+
+#: Region kinds for code-centric consistency (paper Table 2).
+REGION_ATOMIC = "atomic"
+REGION_ASM = "asm"
+
+#: Atomic memory orderings we distinguish (section 3.4.1, Case 2: relaxed
+#: needs atomicity only and need not flush the PTSB).
+RELAXED = "relaxed"
+ACQ_REL = "acq_rel"
+SEQ_CST = "seq_cst"
+
+
+@dataclass(frozen=True)
+class InstrSite:
+    """One static instruction in a workload's binary."""
+
+    pc: int
+    label: str
+    kind: str          # 'load' | 'store' | 'atomic' | 'other'
+    width: int
+
+
+@dataclass(frozen=True)
+class Load:
+    site: InstrSite
+    addr: int
+    width: int
+    volatile: bool = False
+
+
+@dataclass(frozen=True)
+class Store:
+    site: InstrSite
+    addr: int
+    value: int
+    width: int
+    volatile: bool = False
+
+
+@dataclass(frozen=True)
+class AtomicRMW:
+    """LOCK-prefixed read-modify-write; returns the old value.
+
+    ``op`` is one of 'add', 'xchg', 'cas'; for 'cas' ``operand`` is the
+    new value and ``expected`` the comparison value.
+    """
+
+    site: InstrSite
+    addr: int
+    op: str
+    operand: int
+    width: int
+    ordering: str = SEQ_CST
+    expected: int = 0
+
+
+@dataclass(frozen=True)
+class AtomicLoad:
+    site: InstrSite
+    addr: int
+    width: int
+    ordering: str = SEQ_CST
+
+
+@dataclass(frozen=True)
+class AtomicStore:
+    site: InstrSite
+    addr: int
+    value: int
+    width: int
+    ordering: str = SEQ_CST
+
+
+@dataclass(frozen=True)
+class Fence:
+    site: InstrSite
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Pure CPU work: advances the clock without touching memory."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class BulkTouch:
+    """Analytic streaming access over [addr, addr+nbytes).
+
+    Models large, uncontended working sets (the multi-GB native inputs)
+    without materializing host memory: charges fill and fault costs and
+    updates touch accounting, but does not move bytes.
+    """
+
+    site: InstrSite
+    addr: int
+    nbytes: int
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class RegionBegin:
+    kind: str                  # REGION_ATOMIC | REGION_ASM
+    ordering: str = SEQ_CST    # for atomic regions
+
+
+@dataclass(frozen=True)
+class RegionEnd:
+    kind: str
+
+
+@dataclass(frozen=True)
+class MutexLock:
+    mutex: object
+
+
+@dataclass(frozen=True)
+class MutexUnlock:
+    mutex: object
+
+
+@dataclass(frozen=True)
+class BarrierWait:
+    barrier: object
+
+
+@dataclass(frozen=True)
+class CondWait:
+    """pthread_cond_wait: atomically release ``mutex`` and sleep."""
+
+    condvar: object
+    mutex: object
+
+
+@dataclass(frozen=True)
+class CondSignal:
+    condvar: object
+    broadcast: bool = False
+
+
+@dataclass(frozen=True)
+class Malloc:
+    """Heap allocation through the active runtime's allocator."""
+
+    size: int
+    align: int = 0             # 0 = allocator default
+
+
+@dataclass(frozen=True)
+class FreeOp:
+    addr: int
+
+
+@dataclass(frozen=True)
+class ThreadCreate:
+    """Spawn a new application thread running ``body(ctx)``."""
+
+    body: object
+    name: str = ""
+    args: tuple = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class ThreadJoin:
+    tid: int

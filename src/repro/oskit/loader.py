@@ -1,0 +1,44 @@
+"""Consistency-callback table (the loader interposition point).
+
+The paper's code-centric consistency callbacks are library function
+calls that are NOPs by default; runtime systems instruct the loader to
+replace them with runtime-specific versions (section 3.4.2).  This
+module is that replacement table: the engine's region events route
+through whatever implementation is currently installed, so a program
+runs unperturbed when no runtime cares (the compatible-by-default
+property) and pays only a call when one does.
+"""
+
+
+def _nop(*_args, **_kwargs):
+    return 0
+
+
+class CallbackTable:
+    """Replaceable begin/end callbacks for atomic and asm regions."""
+
+    NAMES = ("atomic_begin", "atomic_end", "asm_begin", "asm_end")
+
+    def __init__(self):
+        self._impl = {name: _nop for name in self.NAMES}
+        self.installed_by = None
+
+    def install(self, owner, **implementations):
+        """Install runtime-specific callback implementations.
+
+        Unspecified callbacks stay NOPs.  ``owner`` is recorded for
+        diagnostics.
+        """
+        for name, fn in implementations.items():
+            if name not in self._impl:
+                raise KeyError(f"unknown consistency callback {name!r}")
+            self._impl[name] = fn
+        self.installed_by = owner
+
+    def reset(self):
+        self._impl = {name: _nop for name in self.NAMES}
+        self.installed_by = None
+
+    def fire(self, name, *args):
+        """Invoke a callback; returns its extra-cycle cost."""
+        return self._impl[name](*args) or 0

@@ -1,0 +1,126 @@
+"""Simulated Linux perf / Intel PEBS HITM sampling.
+
+Mirrors the behaviour TMI depends on (paper sections 2.1 and 3.1):
+
+- one event buffer per application thread, created at ``pthread_create``
+  interposition time;
+- a *period* ``n``: roughly every n-th HITM produces a PEBS record, so
+  multiple events to one address can collapse into one record and the
+  detector must scale counts by the period (Figure 4);
+- documented imprecision: the PC is reliable, the data address less so
+  (occasional skid), and store HITMs produce records at a *lower* rate
+  than load HITMs even though the event is nominally a load event;
+- a PEBS record does **not** say whether the access was a load or a
+  store — the detector recovers that by disassembling the PC;
+- record and buffer-overflow interrupt costs are charged to the
+  application thread that triggered them.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PebsRecord:
+    """What userspace sees for one sampled HITM.
+
+    Deliberately excludes simulator ground truth (physical address,
+    remote core, load/store flag): the detector must work from the same
+    information the real system has.
+    """
+
+    cycle: int
+    tid: int
+    pc: int
+    va: int
+
+
+class _ThreadBuffer:
+    """Per-thread PEBS accumulation state."""
+
+    __slots__ = ("tid", "period_counter", "store_counter", "records",
+                 "skid_counter")
+
+    def __init__(self, tid):
+        self.tid = tid
+        self.period_counter = 0
+        self.store_counter = 0
+        self.skid_counter = 0
+        self.records = []
+
+
+class PerfSession:
+    """HITM sampling for one monitored application."""
+
+    #: Every Nth record suffers data-address skid (paper: the PC in a
+    #: PEBS record is more accurate than the data address).
+    ADDR_SKID_EVERY = 23
+    ADDR_SKID_BYTES = 8
+
+    def __init__(self, costs, period=100):
+        self.costs = costs
+        self.period = max(1, period)
+        self._buffers = {}
+        self._queue = []           # drained, awaiting the detector
+        self.events_seen = 0       # all HITM events while attached
+        self.events_eligible = 0   # after store subsampling
+        self.records_made = 0
+        self.interrupts = 0
+
+    # ------------------------------------------------------------------
+    def attach_thread(self, tid):
+        """Create the per-thread event buffer (pthread_create hook)."""
+        if tid not in self._buffers:
+            self._buffers[tid] = _ThreadBuffer(tid)
+
+    def on_hitm(self, event):
+        """Machine HITM listener.  Returns cycles charged to the
+        application thread (0 when the event is not recorded)."""
+        buffer = self._buffers.get(event.tid)
+        if buffer is None:
+            return 0
+        self.events_seen += 1
+        if event.is_store:
+            buffer.store_counter += 1
+            if buffer.store_counter % self.costs.pebs_store_subsample:
+                return 0
+        self.events_eligible += 1
+        buffer.period_counter += 1
+        if buffer.period_counter < self.period:
+            return 0
+        buffer.period_counter = 0
+        va = event.va
+        buffer.skid_counter += 1
+        if buffer.skid_counter % self.ADDR_SKID_EVERY == 0:
+            va += self.ADDR_SKID_BYTES
+        buffer.records.append(PebsRecord(
+            cycle=event.cycle, tid=event.tid, pc=event.pc, va=va))
+        self.records_made += 1
+        cost = self.costs.pebs_record
+        if len(buffer.records) >= self.costs.pebs_buffer_records:
+            self._queue.extend(buffer.records)
+            buffer.records = []
+            self.interrupts += 1
+            cost += self.costs.pebs_interrupt
+        return cost
+
+    def drain(self):
+        """All pending records (detection thread consumption)."""
+        for buffer in self._buffers.values():
+            if buffer.records:
+                self._queue.extend(buffer.records)
+                buffer.records = []
+        records, self._queue = self._queue, []
+        return records
+
+    # ------------------------------------------------------------------
+    def estimated_events(self, records_count=None):
+        """Scale a record count by the period: a period of n producing
+        r records is assumed to correspond to n*r actual events
+        (paper section 3.1)."""
+        if records_count is None:
+            records_count = self.records_made
+        return records_count * self.period
+
+    def buffer_memory_bytes(self):
+        """Host memory for perf event buffers (Figure 8 accounting)."""
+        return len(self._buffers) * 16 * 1024 * 1024

@@ -1,0 +1,50 @@
+"""The ``/proc/pid/maps`` analog.
+
+TMI's detection thread reads the address map at start-up to filter
+samples: repair is restricted to the application's heap and globals;
+system-library and stack addresses are discarded (paper section 3.1).
+"""
+
+import bisect
+from dataclasses import dataclass
+
+from repro.engine import layout
+
+
+@dataclass(frozen=True)
+class MapEntry:
+    start: int
+    end: int
+    name: str
+    kind: str          # 'heap' | 'globals' | 'stack' | 'lib' | 'internal'
+
+
+class AddressMap:
+    """Snapshot of a process's mappings, queryable by address."""
+
+    def __init__(self, entries):
+        self._entries = sorted(entries, key=lambda e: e.start)
+        self._starts = [e.start for e in self._entries]
+
+    @classmethod
+    def from_aspace(cls, aspace):
+        entries = [
+            MapEntry(m.start, m.end, m.name, layout.region_kind(m.name))
+            for m in aspace.mappings()
+        ]
+        return cls(entries)
+
+    def classify(self, va):
+        """Region kind containing ``va``, or None if unmapped."""
+        index = bisect.bisect_right(self._starts, va) - 1
+        if index < 0:
+            return None
+        entry = self._entries[index]
+        return entry.kind if va < entry.end else None
+
+    def repair_eligible(self, va):
+        """True for heap and globals addresses (the detector's filter)."""
+        return self.classify(va) in ("heap", "globals")
+
+    def entries(self):
+        return list(self._entries)

@@ -1,0 +1,80 @@
+"""Simulated ptrace: the monitor process's lever on the application.
+
+TMI runs the application under a monitoring process PM.  When the
+detector signals that repair is necessary, PM attaches to every
+application thread, stops it, saves its context, points it at a
+trampoline that enables page protection and calls ``fork()``, then
+restores the context in the new process and detaches (paper section
+3.2, Figure 5).  The paper measures the whole conversion at under 200
+microseconds per application; we charge the same cost structure.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import PtraceError
+
+
+@dataclass
+class ConversionRecord:
+    """Timing of one thread->process conversion batch."""
+
+    stop_cycle: int
+    thread_count: int
+    total_cycles: int = 0
+    per_thread_cycles: dict = field(default_factory=dict)
+
+    def t2p_microseconds(self, costs):
+        """Wall time of the conversion in microseconds (Table 3, T2P)."""
+        return costs.seconds(self.total_cycles) * 1e6
+
+
+class PtraceMonitor:
+    """The monitoring process PM."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self._costs = engine.costs
+        self.conversions = []
+
+    # ------------------------------------------------------------------
+    def stop_all_and(self, action):
+        """Bring every application thread to a stop at its next op
+        boundary, run ``action(engine, stop_time)``, resume.
+
+        This is PM attaching with ptrace; each thread is charged the
+        attach/detach cost as a wake-up penalty.
+        """
+        def callback(engine, stop_time):
+            for thread in engine.threads.values():
+                if thread.state != "done":
+                    thread.pending_penalty += (self._costs.ptrace_attach
+                                               + self._costs.ptrace_detach)
+            action(engine, stop_time)
+
+        self._engine.request_stop_world(callback)
+
+    def convert_all_threads(self, engine, stop_time):
+        """Convert every live thread into its own process.
+
+        Returns the :class:`ConversionRecord`; the per-thread fork,
+        register save/restore, and trampoline costs are charged as
+        wake-up penalties, and the batch is timed for Table 3.
+        """
+        live = [t for t in engine.threads.values() if t.state != "done"]
+        if not live:
+            raise PtraceError("no threads to convert")
+        record = ConversionRecord(stop_cycle=stop_time,
+                                  thread_count=len(live))
+        per_thread = (self._costs.ptrace_regs * 2   # save + restore
+                      + self._costs.fork
+                      + self._costs.trampoline)
+        for thread in live:
+            engine.convert_thread_to_process(thread)
+            thread.pending_penalty += per_thread
+            record.per_thread_cycles[thread.tid] = per_thread
+        # PM performs conversions serially but they overlap with the
+        # per-thread stop window; the wall cost is one conversion plus
+        # the attach round.
+        record.total_cycles = per_thread + self._costs.ptrace_attach
+        self.conversions.append(record)
+        return record

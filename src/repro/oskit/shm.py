@@ -1,0 +1,38 @@
+"""Named shared-memory regions (the ``shm_open`` analog).
+
+TMI places all application memory — stacks, globals, and heap — in a
+shared, file-backed region at program start, so that after threads
+become processes the same physical pages remain reachable, and so that
+individual pages can later be remapped process-private for repair
+(paper section 3.2, Figure 6).
+"""
+
+from repro.errors import InvalidMappingError
+from repro.sim.addrspace import Backing
+
+
+class SharedMemoryNamespace:
+    """Registry of named shared regions for one simulated system."""
+
+    def __init__(self, physmem):
+        self._physmem = physmem
+        self._regions = {}
+
+    def shm_open(self, name, nbytes):
+        """Create (or reopen) a named shared region."""
+        region = self._regions.get(name)
+        if region is not None:
+            if region.nbytes != nbytes:
+                raise InvalidMappingError(
+                    f"shm {name!r} reopened with different size")
+            return region
+        region = Backing(self._physmem, nbytes, name=name,
+                         file_backed=True)
+        self._regions[name] = region
+        return region
+
+    def shm_unlink(self, name):
+        self._regions.pop(name, None)
+
+    def names(self):
+        return sorted(self._regions)

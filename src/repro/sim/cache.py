@@ -1,0 +1,213 @@
+"""Invalidation-based cache coherence with HITM event generation.
+
+Models the single-writer multiple-reader (SWMR) invariant of a MESI
+protocol over *physical* cache lines (paper section 2).  The model is a
+central directory: for each line, which cores hold it and in what state.
+Capacity and conflict misses are out of scope — false sharing costs come
+from coherence serialization, which this captures — but lines can be
+flushed explicitly (PTSB commits, frame recycling).
+
+Whenever an access finds the line Modified in a *remote* private cache,
+the directory reports a HITM, the hardware event TMI's detector samples.
+"""
+
+from repro.sim.costs import LINE_SIZE
+
+#: MESI states (Invalid is represented by absence).
+MODIFIED = "M"
+EXCLUSIVE = "E"
+SHARED_ST = "S"
+
+
+class AccessOutcome:
+    """Cost and coherence effects of one memory access."""
+
+    __slots__ = ("cost", "hitm_remotes", "lines")
+
+    def __init__(self):
+        self.cost = 0
+        self.hitm_remotes = []     # remote core ids that held M
+        self.lines = 0
+
+    @property
+    def hitm(self):
+        return bool(self.hitm_remotes)
+
+
+class CoherenceDirectory:
+    """Directory-based MESI over physical line addresses."""
+
+    def __init__(self, costs, n_cores):
+        self.costs = costs
+        self.n_cores = n_cores
+        self._lines = {}           # line pa -> {core: state}
+        self._recent = {}          # line pa -> {core: [last_any, last_wr]}
+        self.hitm_load_count = 0
+        self.hitm_store_count = 0
+        self.access_count = 0
+        self.contended_accesses = 0
+
+    # ------------------------------------------------------------------
+    def access(self, core, pa, width, is_write, now=0):
+        """Perform one access; returns an :class:`AccessOutcome`.
+
+        Accesses that straddle a line boundary are split and each line is
+        charged independently (as hardware does for split accesses).
+        ``now`` (the accessing core's clock) drives the hot-line
+        contention model.
+        """
+        out = AccessOutcome()
+        first = pa & ~(LINE_SIZE - 1)
+        last = (pa + width - 1) & ~(LINE_SIZE - 1)
+        line = first
+        while line <= last:
+            self._access_line(core, line, is_write, out)
+            out.cost += self._contention(core, line, is_write, now)
+            out.lines += 1
+            line += LINE_SIZE
+        self.access_count += 1
+        return out
+
+    def _contention(self, core, line, is_write, now):
+        """Hot-line queueing tax (see CostModel.contend_penalty).
+
+        A serialized per-op simulation understates how badly a line that
+        several cores conflict on behaves: in hardware, every access to
+        such a line queues behind in-flight ownership transfers.  We
+        charge each access a penalty per remote core that touched the
+        line within a recent window, whenever the conflict involves a
+        writer (SWMR serialization); read-only sharing stays free.
+        """
+        costs = self.costs
+        recent = self._recent.get(line)
+        if recent is None:
+            self._recent[line] = {core: [now, now if is_write else None]}
+            return 0
+        horizon = now - costs.contend_window
+        conflicting = 0
+        stale = None
+        for other, (last_any, last_write) in recent.items():
+            if other == core:
+                continue
+            if last_any < horizon:
+                stale = other if stale is None else stale
+                continue
+            if is_write or (last_write is not None
+                            and last_write >= horizon):
+                conflicting += 1
+        if stale is not None and len(recent) > 4:
+            for other in [o for o, (la, _lw) in recent.items()
+                          if la < horizon and o != core]:
+                del recent[other]
+        mine = recent.get(core)
+        if mine is None:
+            recent[core] = [now, now if is_write else None]
+        else:
+            mine[0] = now
+            if is_write:
+                mine[1] = now
+        if not conflicting:
+            return 0
+        self.contended_accesses += 1
+        return costs.contend_penalty * min(conflicting,
+                                           costs.contend_max_cores)
+
+    def _access_line(self, core, line, is_write, out):
+        costs = self.costs
+        holders = self._lines.get(line)
+        if holders is None:
+            holders = {}
+            self._lines[line] = holders
+        mine = holders.get(core)
+
+        if not is_write:
+            if mine is not None:
+                out.cost += costs.load_hit
+                return
+            remote_m = _modified_holder(holders, core)
+            if remote_m is not None:
+                # HITM: remote Modified line supplies the data.
+                holders[remote_m] = SHARED_ST
+                holders[core] = SHARED_ST
+                out.cost += costs.hitm_load
+                out.hitm_remotes.append(remote_m)
+                self.hitm_load_count += 1
+            elif holders:
+                for other in holders:
+                    if holders[other] == EXCLUSIVE:
+                        holders[other] = SHARED_ST
+                holders[core] = SHARED_ST
+                out.cost += costs.shared_fill
+            else:
+                holders[core] = EXCLUSIVE
+                out.cost += costs.mem_fill
+            return
+
+        # write
+        if mine == MODIFIED:
+            out.cost += costs.store_hit
+            return
+        if mine == EXCLUSIVE:
+            holders[core] = MODIFIED
+            out.cost += costs.store_hit
+            return
+        remote_m = _modified_holder(holders, core)
+        if remote_m is not None:
+            # store that invalidates a remote Modified line (store HITM)
+            del holders[remote_m]
+            holders[core] = MODIFIED
+            out.cost += costs.hitm_store
+            out.hitm_remotes.append(remote_m)
+            self.hitm_store_count += 1
+            return
+        others = [c for c in holders if c != core]
+        if mine == SHARED_ST or others:
+            for other in others:
+                del holders[other]
+            holders[core] = MODIFIED
+            out.cost += costs.upgrade if mine == SHARED_ST else costs.mem_fill
+            return
+        holders[core] = MODIFIED
+        out.cost += costs.mem_fill
+
+    # ------------------------------------------------------------------
+    def flush_range(self, pa, nbytes):
+        """Invalidate every copy of every line in [pa, pa+nbytes)."""
+        first = pa & ~(LINE_SIZE - 1)
+        last = (pa + nbytes - 1) & ~(LINE_SIZE - 1)
+        line = first
+        while line <= last:
+            self._lines.pop(line, None)
+            line += LINE_SIZE
+
+    def line_holders(self, pa):
+        """{core: state} for the line containing ``pa`` (test hook)."""
+        return dict(self._lines.get(pa & ~(LINE_SIZE - 1), {}))
+
+    def check_swmr(self):
+        """Assert the SWMR invariant over every tracked line.
+
+        Returns the number of lines checked; raises AssertionError on a
+        violation.  Used by property-based tests.
+        """
+        for line, holders in self._lines.items():
+            writers = [c for c, s in holders.items() if s == MODIFIED]
+            if len(writers) > 1:
+                raise AssertionError(
+                    f"line {line:#x}: multiple writers {writers}")
+            if writers and len(holders) > 1:
+                raise AssertionError(
+                    f"line {line:#x}: writer {writers[0]} coexists with "
+                    f"readers {sorted(holders)}")
+            exclusive = [c for c, s in holders.items() if s == EXCLUSIVE]
+            if exclusive and len(holders) > 1:
+                raise AssertionError(
+                    f"line {line:#x}: E holder with other sharers")
+        return len(self._lines)
+
+
+def _modified_holder(holders, exclude):
+    for core, state in holders.items():
+        if core != exclude and state == MODIFIED:
+            return core
+    return None

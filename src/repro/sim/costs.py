@@ -1,0 +1,147 @@
+"""Cycle cost model for the simulated multicore machine.
+
+All performance numbers in the reproduction derive from this table.  The
+constants are calibrated so that the *shapes* of the paper's results hold
+(who wins, by what rough factor, where crossovers fall); they are not a
+cycle-accurate model of any specific Haswell part.
+
+The paper's machines run at 3.4 GHz (repair experiments, i7-4770K) and
+3.0 GHz (detection experiments, i7-5960X); we use a single 3.4 GHz clock.
+"""
+
+from dataclasses import dataclass, field
+
+#: Cache line size in bytes (Haswell).
+LINE_SIZE = 64
+
+#: Standard small page size in bytes.
+PAGE_4K = 4096
+
+#: Huge page size in bytes (MAP_HUGE_2MB).
+PAGE_2M = 2 * 1024 * 1024
+
+
+@dataclass
+class CostModel:
+    """Cycle costs charged by the machine, OS kit, and runtimes.
+
+    Grouped by subsystem.  ``cycles_per_second`` converts simulated cycles
+    to the seconds reported in tables and figures.
+    """
+
+    cycles_per_second: float = 3.4e9
+
+    # --- cache / coherence (per access) ---
+    #: Hit in the local private cache.
+    load_hit: int = 2
+    store_hit: int = 2
+    #: Fill from memory, no other sharer (cold/capacity miss).
+    mem_fill: int = 160
+    #: Fill when another core holds the line Shared/Exclusive (clean).
+    shared_fill: int = 60
+    #: Load that hits a remote Modified line -> HITM event.
+    hitm_load: int = 420
+    #: Store that must invalidate a remote Modified line (store HITM).
+    hitm_store: int = 500
+    #: Upgrade S->M, invalidating clean remote copies.
+    upgrade: int = 70
+    #: Extra cost of any atomic RMW over a plain access (LOCK prefix).
+    atomic_extra: int = 24
+    #: Full fence.
+    fence: int = 30
+    #: Per-line cost of bulk streaming accesses (bandwidth-bound).
+    stream_per_line: int = 12
+
+    # --- hot-line contention (queueing on the SWMR serialization) ---
+    #: Extra cycles per access to a line with an active cross-core
+    #: conflict, per recently-conflicting remote core.  Models the
+    #: continuous ping-pong of a falsely (or truly) shared line that a
+    #: serialized per-op simulation otherwise understates.
+    contend_penalty: int = 60
+    #: How long (cycles) a remote access keeps a line "contended".
+    contend_window: int = 3000
+    #: Cap on how many remote cores compound the penalty.
+    contend_max_cores: int = 3
+
+    # --- virtual memory ---
+    #: Minor fault on a private anonymous page.
+    fault_anon: int = 1800
+    #: Fault on a shared file-backed page (shm): dirties the backing file,
+    #: measurably more expensive than an anonymous fault (paper section 4.4).
+    fault_shared_file: int = 4200
+    #: Base cost of a copy-on-write fault (plus per-byte copy below).
+    fault_cow: int = 1200
+    #: Per-byte cost of the COW page copy (and of twin creation).
+    copy_per_byte: float = 0.06
+    #: mmap/mprotect/munmap syscall cost.
+    syscall_mm: int = 1200
+
+    # --- process machinery ---
+    #: Injected fork() for thread->process conversion (~40us of the
+    #: sub-200us T2P latencies in paper Table 3).
+    fork: int = 140_000
+    #: ptrace attach/stop of one thread.
+    ptrace_attach: int = 25_000
+    #: ptrace get/set register context.
+    ptrace_regs: int = 6_000
+    #: ptrace detach/resume.
+    ptrace_detach: int = 12_000
+    #: Trampoline execution inside the new process (enable protection).
+    trampoline: int = 20_000
+
+    # --- PTSB (twin / diff / merge), paper sections 2.2 and 3.3 ---
+    #: Per-byte cost of diffing a dirty page against its twin.
+    diff_per_byte: float = 0.08
+    #: Per-byte cost of the cheap memcmp prefilter used for huge pages.
+    memcmp_per_byte: float = 0.02
+    #: Per changed byte merged into shared memory.
+    merge_per_byte: float = 1.0
+    #: Fixed cost per committed page (TLB shootdown, remap).
+    commit_page_fixed: int = 800
+
+    # --- perf / PEBS ---
+    #: Cost charged to the application thread per PEBS record written.
+    pebs_record: int = 600
+    #: Buffer-full interrupt servicing cost (charged to the faulting thread).
+    pebs_interrupt: int = 9_000
+    #: PEBS buffer capacity in records before an interrupt fires.
+    pebs_buffer_records: int = 256
+    #: Store HITMs produce PEBS records at a lower rate than loads
+    #: (paper section 2.1): only every Nth store HITM is eligible.
+    pebs_store_subsample: int = 3
+
+    # --- detector ---
+    #: Detector analysis pass: fixed plus per tracked line (runs on its
+    #: own core; does not slow application threads).
+    detect_fixed: int = 50_000
+    detect_per_line: int = 120
+
+    # --- synchronization (constant parts; coherence traffic on the lock
+    #     word is simulated for real through the cache model) ---
+    mutex_fast: int = 45
+    mutex_slow: int = 900          # futex-style block/wake path
+    barrier_op: int = 220
+    #: Extra pointer-chase when a sync object is redirected to TMI's
+    #: process-shared region (one extra load, charged via cache model too).
+    pshared_indirect: int = 10
+
+    # --- allocator ---
+    alloc_fast: int = 60
+    alloc_slow: int = 2200          # new arena chunk from the OS
+    #: glibc-style allocator penalty per op (global lock; paper found
+    #: Lockless ~16% faster overall).
+    glibc_alloc_extra: int = 520
+
+    extra: dict = field(default_factory=dict)
+
+    def seconds(self, cycles):
+        """Convert a cycle count to seconds under this model's clock."""
+        return cycles / self.cycles_per_second
+
+    def cycles(self, seconds):
+        """Convert seconds to cycles under this model's clock."""
+        return int(seconds * self.cycles_per_second)
+
+
+#: Shared default instance used when callers do not supply a model.
+DEFAULT_COSTS = CostModel()

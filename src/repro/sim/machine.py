@@ -1,0 +1,78 @@
+"""The simulated multicore machine.
+
+Bundles physical memory, the coherence directory, per-core clocks, and an
+event bus.  The execution engine drives it; runtimes (TMI, Sheriff,
+LASER) observe it through listeners — most importantly ``on_hitm``, which
+feeds the simulated PEBS machinery.
+"""
+
+from repro.sim.cache import CoherenceDirectory
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.events import HitmEvent
+from repro.sim.physmem import PhysicalMemory
+
+
+class Machine:
+    """Cores + memory + coherence for one simulation run."""
+
+    def __init__(self, n_cores=8, costs=None):
+        self.costs = costs or DEFAULT_COSTS
+        self.n_cores = n_cores
+        self.physmem = PhysicalMemory()
+        self.directory = CoherenceDirectory(self.costs, n_cores)
+        self.core_clock = [0] * n_cores
+        self._hitm_listeners = []
+        self.hitm_events = 0
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+    def add_hitm_listener(self, callback):
+        """``callback(HitmEvent)`` fires on every HITM the hardware sees.
+
+        Returns the extra cycles the listener charges to the accessing
+        thread (PEBS record/interrupt costs), or None.
+        """
+        self._hitm_listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # memory operations (physical level)
+    # ------------------------------------------------------------------
+    def mem_access(self, core, tid, pc, va, pa, width, is_write,
+                   value=None):
+        """One data access: coherence + data movement.
+
+        Returns ``(cost, loaded_value)``; ``loaded_value`` is None for
+        stores.  Fires HITM listeners and accumulates their costs.
+        """
+        outcome = self.directory.access(core, pa, width, is_write,
+                                        now=self.core_clock[core])
+        cost = outcome.cost
+        for remote in outcome.hitm_remotes:
+            self.hitm_events += 1
+            event = HitmEvent(
+                cycle=self.core_clock[core], core=core, tid=tid, pc=pc,
+                va=va, pa=pa, width=width, is_store=is_write,
+                remote_core=remote,
+            )
+            for listener in self._hitm_listeners:
+                extra = listener(event)
+                if extra:
+                    cost += extra
+        if is_write:
+            self.physmem.write_int(pa, value, width)
+            return cost, None
+        return cost, self.physmem.read_int(pa, width)
+
+    def advance(self, core, cycles):
+        """Advance one core's clock."""
+        self.core_clock[core] += cycles
+
+    @property
+    def now(self):
+        """Machine time = the furthest core clock (wall-clock proxy)."""
+        return max(self.core_clock)
+
+    def elapsed_seconds(self):
+        """Simulated wall-clock runtime so far."""
+        return self.costs.seconds(self.now)

@@ -1,0 +1,5 @@
+"""Synchronization primitives over simulated memory."""
+
+from repro.sync.objects import Barrier, Condvar, Mutex
+
+__all__ = ["Barrier", "Condvar", "Mutex"]

@@ -1,0 +1,82 @@
+"""Synchronization objects over simulated memory.
+
+A pthread mutex or barrier is an *application memory object*: its lock
+word lives at an address in the simulated address space, and every
+acquire/release performs real (simulated) coherence traffic on that
+word.  This is what makes the Boost ``spinlockpool`` bug reproducible —
+adjacent locks in one cache line falsely share — and what TMI's
+``pthread_mutex_init`` interposition fixes by redirecting the hot word
+into a cache-line-sized object in process-shared memory (section 3.2).
+
+Blocking semantics (wait queues, wake-ups) are managed by the engine;
+these classes only carry state.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(eq=False)
+class Mutex:
+    """A pthread-style mutex.
+
+    ``addr`` is where the application's ``pthread_mutex_t`` lives;
+    ``shadow_addr`` (if set by a runtime) is the redirected process-shared
+    lock word that acquire/release traffic actually targets.
+    """
+
+    mid: int
+    addr: int
+    name: str = ""
+    width: int = 4
+    shadow_addr: int = 0
+    owner_tid: object = None
+    waiters: list = field(default_factory=list)
+    acquire_count: int = 0
+    contended_count: int = 0
+
+    #: sizeof(pthread_mutex_t) on x86-64 Linux.
+    SIZE = 40
+
+    @property
+    def hot_addr(self):
+        """Address acquire/release traffic targets."""
+        return self.shadow_addr or self.addr
+
+
+@dataclass(eq=False)
+class Barrier:
+    """A pthread-style barrier for ``parties`` threads."""
+
+    bid: int
+    addr: int
+    parties: int
+    name: str = ""
+    width: int = 4
+    shadow_addr: int = 0
+    arrived: list = field(default_factory=list)   # tids waiting this round
+    generation: int = 0
+    wait_count: int = 0
+
+    SIZE = 32
+
+    @property
+    def hot_addr(self):
+        return self.shadow_addr or self.addr
+
+
+@dataclass(eq=False)
+class Condvar:
+    """A pthread-style condition variable (wait/signal/broadcast)."""
+
+    cid: int
+    addr: int
+    name: str = ""
+    width: int = 4
+    shadow_addr: int = 0
+    waiters: list = field(default_factory=list)   # (tid, mutex) pairs
+
+    SIZE = 48
+
+    @property
+    def hot_addr(self):
+        return self.shadow_addr or self.addr

@@ -1,0 +1,8 @@
+"""Workloads: synthetic kernels mirroring the paper's 35 benchmarks."""
+
+from repro.workloads.base import DEFAULT, FIXED, Workload
+from repro.workloads.registry import (all_names, figure7_names, get,
+                                      repair_suite_names)
+
+__all__ = ["DEFAULT", "FIXED", "Workload", "all_names", "figure7_names",
+           "get", "repair_suite_names"]

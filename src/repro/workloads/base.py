@@ -1,0 +1,104 @@
+"""Workload framework.
+
+Each workload mirrors the property the paper's evaluation relies on for
+its namesake benchmark: its memory footprint class, synchronization
+rate, use of atomics/inline assembly/volatile flags, and — for the
+false-sharing suite — the specific layout bug and its manual fix.
+
+A workload builds a fresh :class:`~repro.engine.program.Program` per
+run.  ``variant="fixed"`` is the manual source fix (padding or
+alignment); ``variant="default"`` forces the mis-aligned or packed
+layout the paper injects so the bug manifests deterministically
+(section 4.3: "we force the discovered false sharing behavior by
+requiring a mis-aligned allocation when appropriate").
+"""
+
+from repro.engine.program import Program, WorkloadFeatures
+from repro.isa.binary import Binary
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+#: Canonical variants.
+DEFAULT = "default"
+FIXED = "fixed"
+
+
+def spawn_join(t, nworkers, worker):
+    """pthread_create/join scaffold for ``nworkers`` threads."""
+    tids = []
+    for i in range(nworkers):
+        tid = yield from t.spawn(worker, f"w{i}")
+        tids.append(tid)
+    for tid in tids:
+        yield from t.join(tid)
+
+
+def worker_index(ctx, base_tid=1):
+    """0-based worker index (main thread is tid 0)."""
+    return ctx.tid - base_tid
+
+
+class Workload:
+    """Base class; subclasses define the program body."""
+
+    #: Unique short name (Figure 7 x-axis label).
+    name = "base"
+    #: Benchmark suite: 'parsec' | 'phoenix' | 'splash2x' | 'app' | 'micro'.
+    suite = "none"
+    nthreads = 4
+    #: Declared native-input footprint (Figures 8 and 10).
+    footprint = 10 * MB
+    heap_bytes = 1 * GB
+    uses_atomics = False
+    uses_asm = False
+    uses_volatile_flags = False
+    has_false_sharing = False
+    has_true_sharing = False
+    sync_rate = "low"
+    #: Host-time knob: scales iteration counts uniformly.
+    scale = 1.0
+
+    def __init__(self, scale=None, nthreads=None):
+        if scale is not None:
+            self.scale = scale
+        if nthreads is not None:
+            self.nthreads = nthreads
+
+    # ------------------------------------------------------------------
+    def build(self, variant=DEFAULT):
+        """Construct a fresh Program for one run."""
+        binary = Binary(self.name)
+        env = {}
+        main = self.body(binary, env, variant)
+        program = Program(
+            name=self.name, binary=binary, main=main,
+            nthreads=self.nthreads,
+            features=WorkloadFeatures(
+                uses_atomics=self.uses_atomics,
+                uses_asm=self.uses_asm,
+                uses_volatile_flags=self.uses_volatile_flags,
+                has_false_sharing=(self.has_false_sharing
+                                   and variant == DEFAULT),
+                has_true_sharing=self.has_true_sharing,
+                footprint_bytes=self.footprint,
+                sync_rate=self.sync_rate,
+            ),
+            heap_bytes=self.heap_bytes,
+            env=env,
+        )
+        validate = getattr(self, "validate", None)
+        if validate is not None:
+            program.validate = validate
+        return program
+
+    def body(self, binary, env, variant):
+        """Return the main generator function ``main(ctx)``."""
+        raise NotImplementedError
+
+    def iters(self, n):
+        """Scale an iteration count by the workload's scale factor."""
+        return max(1, int(n * self.scale))
+
+    def __repr__(self):
+        return f"<Workload {self.name} ({self.suite})>"

@@ -1,0 +1,157 @@
+"""Boost 1.62 microbenchmarks (paper section 4.1).
+
+- ``spinlockpool``: the well-known false sharing bug in
+  ``boost::detail::spinlock_pool`` — a static array of 41 small locks
+  packed into a handful of cache lines.  Threads hammering *different*
+  locks falsely share.  TMI's pthread_mutex redirection (a cache-line-
+  sized shadow in process-shared memory) fixes it automatically.
+- ``shptr-relaxed``: smart-pointer reference counts updated with
+  relaxed atomics (Boost's default) on one page, while unrelated false
+  sharing lives on a separate page.  Code-centric consistency lets the
+  relaxed atomics run without PTSB flushes, so the repair keeps its
+  4.4x benefit.
+- ``shptr-lock``: the same program with mutex-protected refcounts:
+  every lock/unlock commits the PTSB and the repair benefit collapses
+  to ~4%.
+"""
+
+from repro.isa.ops import RELAXED
+from repro.sync.objects import Mutex
+from repro.workloads.base import (FIXED, MB, Workload, spawn_join,
+                                  worker_index)
+
+
+class SpinlockPool(Workload):
+    """41 pool locks packed into adjacent cache lines."""
+
+    name = "spinlockpool"
+    suite = "micro"
+    footprint = 8 * MB
+    has_false_sharing = True
+    sync_rate = "high"
+    ops = 5_000
+    pool_size = 41
+
+    def body(self, binary, env, variant):
+        ld = binary.load_site("read_obj", 8)
+        st = binary.store_site("write_obj", 8)
+        nworkers = self.nthreads
+        ops = self.iters(self.ops)
+        pool = self.pool_size
+        # pthread_mutex_t is 40 bytes; the pool packs them; FIXED pads
+        # each lock to its own line.
+        stride = 64 if variant == FIXED else Mutex.SIZE
+        objs_stride = 64
+
+        def main(t):
+            pool_mem = yield from t.malloc(stride * pool + 64, align=64)
+            objects = yield from t.malloc(objs_stride * nworkers + 64,
+                                          align=64)
+            locks = []
+            for i in range(pool):
+                locks.append(t.mutex_at(pool_mem + i * stride,
+                                        f"pool{i}"))
+
+            def worker(w):
+                wi = worker_index(w)
+                obj = objects + wi * objs_stride
+                value = 0
+                for i in range(ops):
+                    # boost hashes the object address into the pool: each
+                    # thread's object lands on its own lock, but the
+                    # packed locks of different threads share lines
+                    lock = locks[(wi + (i % 2) * nworkers) % pool]
+                    yield from w.lock(lock)
+                    yield from w.compute(90)       # guarded read-side work
+                    yield from w.unlock(lock)
+                    if i % 64 == 0:
+                        yield from w.store(obj, value, 8, site=st)
+                    yield from w.compute(140)
+
+            yield from spawn_join(t, nworkers, worker)
+
+        return main
+
+
+class _SharedPtrBase(Workload):
+    """Common scaffold: false sharing on one page, refcount traffic on
+    another.  Subclasses choose the refcount protection."""
+
+    suite = "micro"
+    footprint = 8 * MB
+    has_false_sharing = True
+    ops = 14_000
+
+    def body(self, binary, env, variant):
+        ld = binary.load_site("load_slot", 8)
+        st = binary.store_site("store_slot", 8)
+        rc = binary.atomic_site("refcount", 8)
+        nworkers = self.nthreads
+        ops = self.iters(self.ops)
+        stride = 64 if variant == FIXED else 8
+        refcount_mutex = self.use_mutex
+
+        def main(t):
+            # page A: per-thread slots (falsely shared by default)
+            slots = yield from t.malloc(4096, align=4096)
+            # page B: the shared_ptr control block (one refcount that
+            # every thread updates — genuine sharing)
+            control = yield from t.malloc(4096, align=4096)
+            env["refcount"] = control
+            rc_lock = None
+            if refcount_mutex:
+                rc_lock = yield from t.mutex("rc")
+
+            def worker(w):
+                wi = worker_index(w)
+                slot = slots + wi * stride
+                for i in range(ops):
+                    value = yield from w.load(slot, 8, site=ld)
+                    yield from w.store(slot, value + 1, 8, site=st)
+                    value = yield from w.load(slot, 8, site=ld)
+                    yield from w.store(slot, value ^ i, 8, site=st)
+                    if i % 6 == 0:
+                        # smart-pointer copy: bump the shared refcount
+                        if refcount_mutex:
+                            yield from w.lock(rc_lock)
+                            v = yield from w.load(control, 8, site=ld)
+                            yield from w.store(control, v + 1, 8,
+                                               site=st)
+                            yield from w.unlock(rc_lock)
+                        else:
+                            yield from w.atomic_add(
+                                control, 1, 8, ordering=RELAXED,
+                                site=rc)
+                    yield from w.compute(110)
+
+            yield from spawn_join(t, nworkers, worker)
+            env["refcount_final"] = yield from t.load(control, 8,
+                                                      site=ld)
+            env["expected_refcount"] = nworkers * ((ops + 5) // 6)
+
+        return main
+
+    def validate(self, env, engine):
+        assert env["refcount_final"] == env["expected_refcount"], (
+            "shared_ptr refcount corrupted: "
+            f"{env['refcount_final']} != {env['expected_refcount']}")
+
+
+class SharedPtrRelaxed(_SharedPtrBase):
+    """Relaxed-atomic refcounts (Boost's default on modern platforms)."""
+
+    name = "shptr-relaxed"
+    uses_atomics = True
+    use_mutex = False
+
+
+class SharedPtrLock(_SharedPtrBase):
+    """Mutex-protected refcounts: every acquire/release commits the
+    PTSB, negating the repair (paper: 1.04x)."""
+
+    name = "shptr-lock"
+    sync_rate = "high"
+    use_mutex = True
+
+
+MICROS = (SpinlockPool, SharedPtrRelaxed, SharedPtrLock)

@@ -1,0 +1,413 @@
+"""Phoenix 1.0 workloads (Ranger et al., HPCA'07).
+
+The suite's false-sharing bugs are the paper's repair stars (section
+4.3):
+
+- ``histogram``: per-thread histogram counters land on shared cache
+  lines; how badly depends on which colors the input image exercises
+  (``histogramfs`` is the paper's alternative input that accentuates
+  the bug);
+- ``lreg`` (linear-regression): the per-thread ``args`` array is not
+  64-byte aligned by default, so neighbouring threads' accumulators
+  share lines in the hottest loop of the program;
+- ``stringmatch``: two per-thread structs, ``cur_word`` and
+  ``cur_word_final``, partially overlap on the same line.
+
+The remaining kernels (kmeans, matrix, pca, reverse, wordcount) carry
+the suite's other traits: small footprints, allocator churn, and
+kmeans's lock-protected true sharing (the paper's worst tmi-detect
+overhead at 17%).
+"""
+
+from repro.workloads.base import (FIXED, GB, MB, Workload,
+                                  spawn_join, worker_index)
+
+#: Counters per histogram (256 bins x 3 channels).
+_BINS = 768
+
+
+class Histogram(Workload):
+    """Per-thread histogram counters; boundary lines falsely share."""
+
+    name = "histogram"
+    suite = "phoenix"
+    footprint = 12 * MB
+    has_false_sharing = True
+    #: Fraction of increments aimed at thread-boundary counters.
+    boundary_bias = 0.10
+    pixels = 40_000
+
+    def body(self, binary, env, variant):
+        ld_px = binary.load_site("read_pixel", 1)
+        ld_c = binary.load_site("load_counter", 4)
+        st_c = binary.store_site("incr_counter", 4)
+        nworkers = self.nthreads
+        stride = _BINS * 4 + (0 if variant == FIXED else 16)
+        if variant == FIXED:
+            stride = ((stride + 63) // 64) * 64
+        pixels = self.iters(self.pixels)
+        bias = self.boundary_bias
+
+        def main(t):
+            image = yield from t.malloc(4 * MB, align=64)
+            counters = yield from t.malloc(stride * nworkers + 64,
+                                           align=64)
+            env["counters"] = counters
+            env["stride"] = stride
+
+            def worker(w):
+                wi = worker_index(w)
+                base = counters + wi * stride
+                # the first and last lines of my block are shared with
+                # my neighbours' blocks (stride is not line-aligned)
+                top_bin = (stride // 4) - 4
+                chunk = image + wi * (1 * MB)
+                for i in range(pixels):
+                    if i % 512 == 0:
+                        yield from w.bulk_touch(chunk, 64 * 512,
+                                                site=ld_px)
+                    h = (i * 2654435761 + wi * 97) & 0xFFFFFFFF
+                    if (h % 1000) < bias * 1000:
+                        bin_index = (h % 4) if h & 8 else top_bin + (h % 4)
+                    else:
+                        bin_index = h % _BINS
+                    addr = base + bin_index * 4
+                    value = yield from w.load(addr, 4, site=ld_c)
+                    yield from w.store(addr, value + 1, 4, site=st_c)
+                    yield from w.compute(40)
+
+            yield from spawn_join(t, nworkers, worker)
+            total = 0
+            for wi in range(nworkers):
+                for b in range(0, _BINS, 97):
+                    total += yield from t.load(
+                        counters + wi * stride + b * 4, 4, site=ld_c)
+            env["checksum"] = total
+
+        return main
+
+    def validate(self, env, engine):
+        assert env.get("checksum", 0) > 0, "histogram produced no counts"
+
+
+class HistogramFS(Histogram):
+    """The paper's alternative input: increments concentrate on the
+    thread-boundary counters, accentuating the false sharing."""
+
+    name = "histogramfs"
+    boundary_bias = 0.65
+    pixels = 40_000
+
+
+class LinearRegression(Workload):
+    """Misaligned per-thread accumulator structs (the ``args`` array)."""
+
+    name = "lreg"
+    suite = "phoenix"
+    footprint = 10 * MB
+    has_false_sharing = True
+    points = 45_000
+
+    def body(self, binary, env, variant):
+        ld = binary.load_site("load_acc", 8)
+        st = binary.store_site("store_acc", 8)
+        ld_pt = binary.load_site("read_point", 8)
+        nworkers = self.nthreads
+        # struct { SX, SY, SXX, SYY, SXY, n } = 48 bytes
+        stride = 64 if variant == FIXED else 48
+        points = self.iters(self.points)
+
+        def main(t):
+            data = yield from t.malloc(8 * MB, align=64)
+            args = yield from t.malloc(stride * nworkers + 64, align=64)
+            env["args"] = args
+
+            def worker(w):
+                wi = worker_index(w)
+                base = args + wi * stride
+                for i in range(points):
+                    if i % 1024 == 0:
+                        yield from w.bulk_touch(
+                            data + wi * MB, 64 * 1024, site=ld_pt)
+                    x = (i * 7 + wi) & 0xFFFF
+                    field = (i % 5) * 8
+                    value = yield from w.load(base + field, 8, site=ld)
+                    yield from w.store(base + field, value + x, 8,
+                                       site=st)
+                    yield from w.compute(12)
+
+            yield from spawn_join(t, nworkers, worker)
+            total = 0
+            for wi in range(nworkers):
+                total += yield from t.load(args + wi * stride, 8, site=ld)
+            env["sx_total"] = total
+
+        return main
+
+    def validate(self, env, engine):
+        assert env.get("sx_total", 0) > 0
+
+
+class StringMatch(Workload):
+    """``cur_word`` / ``cur_word_final`` structs overlap on a line."""
+
+    name = "stringmatch"
+    suite = "phoenix"
+    footprint = 10 * MB
+    has_false_sharing = True
+    keys = 22_000
+
+    def body(self, binary, env, variant):
+        st_w = binary.store_site("cur_word", 8)
+        st_f = binary.store_site("cur_word_final", 8)
+        ld_k = binary.load_site("read_key", 1)
+        nworkers = self.nthreads
+        # two 32-byte structs per thread; default packs them so
+        # different threads' structs straddle lines
+        stride = 64 if variant == FIXED else 32
+        keys = self.iters(self.keys)
+
+        def main(t):
+            corpus = yield from t.malloc(4 * MB, align=64)
+            words = yield from t.malloc(stride * nworkers + 64, align=64)
+            finals = yield from t.malloc(stride * nworkers + 64, align=64)
+
+            def worker(w):
+                wi = worker_index(w)
+                my_word = words + wi * stride
+                my_final = finals + wi * stride
+                for i in range(keys):
+                    if i % 512 == 0:
+                        yield from w.bulk_touch(
+                            corpus + wi * MB, 64 * 256, site=ld_k)
+                    h = (i * 40503 + wi) & 0xFFFF
+                    yield from w.store(my_word, h, 8, site=st_w)
+                    yield from w.compute(90)          # hash the key
+                    if h % 16 == 0:
+                        yield from w.store(my_final, h, 8, site=st_f)
+
+            yield from spawn_join(t, nworkers, worker)
+
+        return main
+
+
+class KMeans(Workload):
+    """Lock-protected centroid updates: true sharing + allocator churn.
+
+    kmeans is the paper's worst case for tmi-detect overhead (17%):
+    its true sharing generates a steady HITM stream whose PEBS records
+    the application threads pay for."""
+
+    name = "kmeans"
+    suite = "phoenix"
+    footprint = 500 * MB
+    heap_bytes = 1 * GB
+    has_true_sharing = True
+    sync_rate = "high"
+    rounds = 12
+    points_per_round = 500
+
+    def body(self, binary, env, variant):
+        ld_pt = binary.load_site("read_point", 8)
+        ld_c = binary.load_site("load_centroid", 8)
+        st_c = binary.store_site("update_centroid", 8)
+        nworkers = self.nthreads
+        clusters = 8
+        rounds = self.iters(self.rounds)
+        points = self.points_per_round
+
+        def main(t):
+            data = yield from t.malloc(8 * MB, align=64)
+            centroids = yield from t.malloc(clusters * 64, align=64)
+            locks = []
+            for c in range(clusters):
+                lock = yield from t.mutex(f"cluster{c}")
+                locks.append(lock)
+            bar = yield from t.barrier(nworkers, "round")
+
+            def worker(w):
+                wi = worker_index(w)
+                for r in range(rounds):
+                    scratch = yield from w.malloc(32 * 1024)
+                    yield from w.bulk_touch(data + wi * MB, 64 * 1024,
+                                            site=ld_pt)
+                    for i in range(points):
+                        c = (i * 31 + wi + r) % clusters
+                        yield from w.compute(60)
+                        if i % 8 == 0:
+                            yield from w.lock(locks[c])
+                            addr = centroids + c * 64
+                            value = yield from w.load(addr, 8, site=ld_c)
+                            yield from w.store(addr, value + i, 8,
+                                               site=st_c)
+                            yield from w.unlock(locks[c])
+                    yield from w.free(scratch)
+                    yield from w.barrier_wait(bar)
+
+            yield from spawn_join(t, nworkers, worker)
+
+        return main
+
+
+class MatrixMultiply(Workload):
+    """Blocked matmul: private blocks, no sharing, bulk streaming."""
+
+    name = "matrix"
+    suite = "phoenix"
+    footprint = 24 * MB
+    blocks = 40
+
+    def body(self, binary, env, variant):
+        ld = binary.load_site("read_block", 8)
+        st = binary.store_site("write_block", 8)
+        nworkers = self.nthreads
+        blocks = self.iters(self.blocks)
+
+        def main(t):
+            a = yield from t.malloc(8 * MB, align=64)
+            b = yield from t.malloc(8 * MB, align=64)
+            c = yield from t.malloc(8 * MB, align=64)
+
+            def worker(w):
+                wi = worker_index(w)
+                for blk in range(blocks):
+                    yield from w.bulk_touch(a + wi * (128 * 1024),
+                                            128 * 1024, site=ld)
+                    yield from w.bulk_touch(b + wi * (128 * 1024),
+                                            128 * 1024, site=ld)
+                    yield from w.compute(52_000)      # inner product
+                    yield from w.bulk_touch(c + wi * (64 * 1024),
+                                            64 * 1024, is_write=True,
+                                            site=st)
+
+            yield from spawn_join(t, nworkers, worker)
+
+        return main
+
+
+class PCA(Workload):
+    """Covariance: private partials, one reduction lock."""
+
+    name = "pca"
+    suite = "phoenix"
+    footprint = 16 * MB
+    rows = 160
+
+    def body(self, binary, env, variant):
+        ld = binary.load_site("read_row", 8)
+        st = binary.store_site("acc_partial", 8)
+        nworkers = self.nthreads
+        rows = self.iters(self.rows)
+
+        def main(t):
+            data = yield from t.malloc(8 * MB, align=64)
+            lock = yield from t.mutex("reduce")
+            result = yield from t.malloc(4096, align=64)
+
+            def worker(w):
+                wi = worker_index(w)
+                partial = yield from w.malloc(4096, align=64)
+                for r in range(rows):
+                    yield from w.bulk_touch(
+                        data + wi * (64 * 512), 64 * 512, site=ld)
+                    yield from w.compute(18_000)
+                    yield from w.store(partial + (r % 64) * 64, r, 8,
+                                       site=st)
+                yield from w.lock(lock)
+                value = yield from w.load(result, 8, site=ld)
+                yield from w.store(result, value + 1, 8, site=st)
+                yield from w.unlock(lock)
+
+            yield from spawn_join(t, nworkers, worker)
+
+        return main
+
+
+class ReverseIndex(Workload):
+    """Link-list construction: allocation-heavy, ~1 GB of file data."""
+
+    name = "reverse"
+    suite = "phoenix"
+    footprint = 1 * GB
+    heap_bytes = 2 * GB
+    files = 220
+
+    def body(self, binary, env, variant):
+        ld = binary.load_site("parse", 1)
+        st = binary.store_site("link", 8)
+        nworkers = self.nthreads
+        files = self.iters(self.files)
+
+        def main(t):
+            corpus = yield from t.malloc(1 * GB, align=4096)
+
+            def worker(w):
+                wi = worker_index(w)
+                links = []
+                window = 768 * 1024
+                for f in range(files):
+                    yield from w.bulk_touch(
+                        corpus + wi * window, window, site=ld)
+                    for _ in range(6):
+                        node = yield from w.malloc(48)
+                        yield from w.store(node, f, 8, site=st)
+                        links.append(node)
+                    yield from w.compute(9_000)
+                for node in links[: len(links) // 2]:
+                    yield from w.free(node)
+
+            yield from spawn_join(t, nworkers, worker)
+
+        return main
+
+
+class WordCount(Workload):
+    """Bucketized hash-table updates under per-range locks."""
+
+    name = "wordcount"
+    suite = "phoenix"
+    footprint = 12 * MB
+    has_true_sharing = True
+    sync_rate = "medium"
+    words = 6_000
+
+    def body(self, binary, env, variant):
+        ld = binary.load_site("bucket_load", 8)
+        st = binary.store_site("bucket_store", 8)
+        ld_w = binary.load_site("read_word", 1)
+        nworkers = self.nthreads
+        nlocks = 16
+        words = self.iters(self.words)
+
+        def main(t):
+            corpus = yield from t.malloc(4 * MB, align=64)
+            table = yield from t.malloc(64 * 1024, align=64)
+            locks = []
+            for i in range(nlocks):
+                lock = yield from t.mutex(f"range{i}")
+                locks.append(lock)
+
+            def worker(w):
+                wi = worker_index(w)
+                for i in range(words):
+                    if i % 256 == 0:
+                        yield from w.bulk_touch(corpus + wi * MB,
+                                                64 * 128, site=ld_w)
+                    h = (i * 0x9E3779B1 + wi * 13) & 0xFFFFF
+                    bucket = h % 1024
+                    yield from w.compute(80)
+                    if i % 4 == 0:
+                        lock = locks[bucket % nlocks]
+                        yield from w.lock(lock)
+                        addr = table + bucket * 64
+                        value = yield from w.load(addr, 8, site=ld)
+                        yield from w.store(addr, value + 1, 8, site=st)
+                        yield from w.unlock(lock)
+
+            yield from spawn_join(t, nworkers, worker)
+
+        return main
+
+
+PHOENIX = (Histogram, HistogramFS, LinearRegression, KMeans,
+           MatrixMultiply, PCA, ReverseIndex, StringMatch, WordCount)

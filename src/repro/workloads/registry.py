@@ -1,0 +1,54 @@
+"""Workload registry: every Figure 7 column plus the correctness-only
+cholesky kernel."""
+
+from repro.workloads.apps import LevelDB
+from repro.workloads.boost import MICROS
+from repro.workloads.parsec import PARSEC
+from repro.workloads.phoenix import PHOENIX
+from repro.workloads.splash2x import Cholesky, SPLASH2X
+
+#: The nine workloads of Figure 9 (automatic repair), in paper order.
+REPAIR_SUITE = ("histogram", "histogramfs", "lreg", "stringmatch",
+                "lu-ncb", "leveldb-fs", "spinlockpool", "shptr-relaxed",
+                "shptr-lock")
+
+
+def _build_registry():
+    registry = {}
+    for cls in PARSEC + PHOENIX + SPLASH2X + MICROS:
+        workload = cls()
+        registry[workload.name] = cls
+    registry["leveldb"] = LevelDB
+    registry["cholesky"] = Cholesky
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def get(name, **kwargs):
+    """Instantiate a workload by its Figure 7 name."""
+    if name == "leveldb-fs":
+        return LevelDB(inject_bug=True, **kwargs)
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"known: {sorted(_REGISTRY)}")
+    return cls(**kwargs)
+
+
+def figure7_names():
+    """The 35 workloads of Figures 7, 8, and 10, in paper order."""
+    parsec = [c().name for c in PARSEC]
+    phoenix = [c().name for c in PHOENIX]
+    splash = [c().name for c in SPLASH2X]
+    micros = [c().name for c in MICROS]
+    return parsec + phoenix + splash + ["leveldb"] + micros
+
+
+def repair_suite_names():
+    return list(REPAIR_SUITE)
+
+
+def all_names():
+    return figure7_names() + ["leveldb-fs", "cholesky"]

@@ -1,0 +1,132 @@
+"""Allocator behaviour: size classes, placement, glibc mode."""
+
+import pytest
+
+from repro.alloc import CHUNK_BYTES, LocklessAllocator, RegionBump
+from repro.errors import AllocationError
+from repro.sim.costs import CostModel, LINE_SIZE
+
+
+@pytest.fixture
+def region():
+    return RegionBump(0x4000_0000, 1 << 28, "heap")
+
+
+@pytest.fixture
+def alloc(region):
+    return LocklessAllocator(region, CostModel())
+
+
+@pytest.fixture
+def tmi_alloc(region):
+    return LocklessAllocator(region, CostModel(), name="tmi-shared",
+                             line_align_large=True)
+
+
+class TestRegionBump:
+    def test_alignment(self, region):
+        addr = region.take(100, align=256)
+        assert addr % 256 == 0
+
+    def test_exhaustion(self):
+        small = RegionBump(0, 1024, "s")
+        small.take(512)
+        with pytest.raises(AllocationError):
+            small.take(1024)
+
+    def test_used_accounting(self, region):
+        region.take(1000, align=64)
+        assert region.used >= 1000
+
+
+class TestSmallObjects:
+    def test_no_overlap(self, alloc):
+        seen = []
+        for size in (16, 24, 100, 500, 4000):
+            addr, _ = alloc.malloc(1, size)
+            for other, osize in seen:
+                assert addr + size <= other or other + osize <= addr
+            seen.append((addr, size))
+
+    def test_size_class_rounding(self, alloc):
+        a, _ = alloc.malloc(1, 17)
+        b, _ = alloc.malloc(1, 30)
+        assert abs(a - b) >= 32      # both in the 32-byte class
+
+    def test_free_list_reuse(self, alloc):
+        a, _ = alloc.malloc(1, 64)
+        alloc.free(1, a)
+        b, _ = alloc.malloc(1, 64)
+        assert a == b
+
+    def test_per_thread_arenas_are_disjoint(self, alloc):
+        a, _ = alloc.malloc(1, 64)
+        b, _ = alloc.malloc(2, 64)
+        assert abs(a - b) >= CHUNK_BYTES
+
+    def test_global_arena_interleaves(self, region):
+        glibc = LocklessAllocator(region, CostModel(), name="glibc",
+                                  global_arena=True)
+        a, _ = glibc.malloc(1, 64)
+        b, _ = glibc.malloc(2, 64)
+        assert abs(a - b) == 64      # adjacent: cross-thread neighbours
+
+    def test_glibc_charges_extra(self, region):
+        costs = CostModel()
+        glibc = LocklessAllocator(region, costs, global_arena=True)
+        fast = LocklessAllocator(RegionBump(0x5000_0000, 1 << 28, "h"),
+                                 costs)
+        _, gcost = glibc.malloc(1, 64)
+        _, fcost = fast.malloc(1, 64)
+        assert gcost > fcost
+
+    def test_double_free_raises(self, alloc):
+        a, _ = alloc.malloc(1, 64)
+        alloc.free(1, a)
+        with pytest.raises(AllocationError):
+            alloc.free(1, a)
+
+    def test_zero_size_raises(self, alloc):
+        with pytest.raises(AllocationError):
+            alloc.malloc(1, 0)
+
+
+class TestLargeObjects:
+    def test_baseline_large_blocks_not_line_aligned(self, alloc):
+        """The paper's mis-aligned allocation: 16-byte ABI alignment
+        leaves large arrays off cache-line boundaries (lreg, lu-ncb)."""
+        addr, _ = alloc.malloc(1, 256 * 1024)
+        assert addr % 16 == 0
+        assert addr % LINE_SIZE != 0
+
+    def test_tmi_allocator_line_aligns_large_blocks(self, tmi_alloc):
+        """TMI's shared-region allocator repairs lu-ncb by itself."""
+        addr, _ = tmi_alloc.malloc(1, 256 * 1024)
+        assert addr % LINE_SIZE == 0
+
+    def test_explicit_alignment_honored(self, alloc):
+        addr, _ = alloc.malloc(1, 256 * 1024, align=64)
+        assert addr % 64 == 0
+
+    def test_page_alignment(self, alloc):
+        addr, _ = alloc.malloc(1, 1 << 20, align=4096)
+        assert addr % 4096 == 0
+
+
+class TestAccounting:
+    def test_live_bytes(self, alloc):
+        a, _ = alloc.malloc(1, 100)
+        alloc.malloc(1, 200)
+        assert alloc.allocated_bytes == 300
+        alloc.free(1, a)
+        assert alloc.allocated_bytes == 200
+
+    def test_peak_bytes(self, alloc):
+        a, _ = alloc.malloc(1, 1000)
+        alloc.free(1, a)
+        alloc.malloc(1, 10)
+        assert alloc.peak_bytes == 1000
+
+    def test_arena_bytes_tracks_region(self, alloc):
+        alloc.malloc(1, 64)
+        assert alloc.arena_bytes >= CHUNK_BYTES

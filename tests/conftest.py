@@ -1,0 +1,27 @@
+"""Shared fixtures; makes tests/helpers.py importable."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.sim.costs import CostModel
+from repro.sim.machine import Machine
+from repro.sim.physmem import PhysicalMemory
+
+
+@pytest.fixture
+def costs():
+    return CostModel()
+
+
+@pytest.fixture
+def physmem():
+    return PhysicalMemory()
+
+
+@pytest.fixture
+def machine():
+    return Machine(n_cores=8)

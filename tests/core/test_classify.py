@@ -1,0 +1,81 @@
+"""True vs. false sharing classification from sampled accesses."""
+
+from repro.core.classify import (FALSE_SHARING, LineStats, NO_SHARING,
+                                 TRUE_SHARING)
+
+
+def line(*samples):
+    stats = LineStats(0x1000)
+    for tid, offset, width, is_store in samples:
+        stats.add(tid, offset, width, is_store)
+    return stats
+
+
+class TestClassification:
+    def test_single_thread_is_no_sharing(self):
+        stats = line((1, 0, 8, True), (1, 8, 8, True))
+        assert stats.classify()[0] == NO_SHARING
+
+    def test_read_read_same_offset_is_true_sharing(self):
+        """Load-only samples still came from HITMs (a writer exists);
+        overlapping offsets mean the threads share the same datum."""
+        stats = line((1, 0, 8, False), (2, 0, 8, False))
+        assert stats.classify()[0] == TRUE_SHARING
+
+    def test_read_read_disjoint_is_false_sharing(self):
+        """PEBS under-reports stores: two threads' load HITMs at
+        disjoint offsets are false-sharing evidence (section 3.1)."""
+        stats = line((1, 0, 8, False), (2, 32, 8, False))
+        assert stats.classify()[0] == FALSE_SHARING
+
+    def test_disjoint_writes_are_false_sharing(self):
+        stats = line((1, 0, 8, True), (2, 8, 8, True))
+        label, false_w, true_w = stats.classify()
+        assert label == FALSE_SHARING
+        assert false_w > 0 and true_w == 0
+
+    def test_overlapping_writes_are_true_sharing(self):
+        stats = line((1, 0, 8, True), (2, 0, 8, True))
+        label, false_w, true_w = stats.classify()
+        assert label == TRUE_SHARING
+        assert true_w > 0 and false_w == 0
+
+    def test_read_write_disjoint_is_false_sharing(self):
+        """Paper's example: 1-byte load at L1, 1-byte store at L2 != L1."""
+        stats = line((1, 10, 1, False), (2, 20, 1, True))
+        assert stats.classify()[0] == FALSE_SHARING
+
+    def test_partial_overlap_is_true_sharing(self):
+        stats = line((1, 0, 8, True), (2, 4, 8, True))
+        assert stats.classify()[0] == TRUE_SHARING
+
+    def test_mixed_line_majority_wins(self):
+        samples = [(1, 0, 4, True), (2, 32, 4, True)] * 10
+        samples += [(1, 16, 4, True), (2, 16, 4, True)]
+        assert line(*samples).classify()[0] == FALSE_SHARING
+
+    def test_majority_true_wins(self):
+        samples = [(1, 16, 4, True), (2, 16, 4, True)] * 10
+        samples += [(1, 0, 4, True), (2, 32, 4, True)]
+        assert line(*samples).classify()[0] == TRUE_SHARING
+
+    def test_reader_only_thread_vs_writer_disjoint(self):
+        stats = line((1, 0, 4, False), (1, 0, 4, False),
+                     (2, 32, 4, True))
+        assert stats.classify()[0] == FALSE_SHARING
+
+    def test_three_threads_false_sharing(self):
+        stats = line((1, 0, 8, True), (2, 16, 8, True), (3, 32, 8, True))
+        label, false_w, _ = stats.classify()
+        assert label == FALSE_SHARING
+        assert false_w >= 3       # three disjoint pairs
+
+    def test_skid_offset_clamped(self):
+        stats = LineStats(0x1000)
+        stats.add(1, 70, 8, True)       # skid pushed it past the line
+        stats.add(2, 0, 8, True)
+        assert stats.classify()[0] in (FALSE_SHARING, TRUE_SHARING)
+
+    def test_record_count(self):
+        stats = line((1, 0, 8, True), (2, 8, 8, True), (2, 8, 8, True))
+        assert stats.records == 3

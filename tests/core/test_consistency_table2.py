@@ -1,0 +1,110 @@
+"""Code-centric consistency: the paper's Table 2 policy."""
+
+import pytest
+
+from repro.core.consistency import (ASM, ATOMIC, CodeCentricPolicy,
+                                    REGULAR, TABLE2, table2_semantics)
+from repro.isa.binary import Binary
+from repro.isa.ops import (AtomicLoad, AtomicRMW, AtomicStore, Load,
+                           RELAXED, SEQ_CST, Store)
+
+
+class FakeThread:
+    def __init__(self, regions=()):
+        self.region_stack = list(regions)
+
+
+class TestTable2:
+    """The five numbered cases of Table 2."""
+
+    def test_case1_regular_regular_undefined_ptsb_ok(self):
+        assert table2_semantics(REGULAR, REGULAR) == ("undefined", True)
+
+    def test_case1_regular_atomic_undefined_ptsb_ok(self):
+        assert table2_semantics(REGULAR, ATOMIC) == ("undefined", True)
+
+    def test_case2_atomic_atomic_no_ptsb(self):
+        semantics, permitted = table2_semantics(ATOMIC, ATOMIC)
+        assert semantics == "atomic" and not permitted
+
+    def test_case3_regular_asm_unknown_no_ptsb(self):
+        semantics, permitted = table2_semantics(REGULAR, ASM)
+        assert semantics == "unknown" and not permitted
+
+    def test_case4_atomic_asm_unknown_no_ptsb(self):
+        semantics, permitted = table2_semantics(ASM, ATOMIC)
+        assert semantics == "unknown" and not permitted
+
+    def test_case5_asm_asm_tso(self):
+        semantics, permitted = table2_semantics(ASM, ASM)
+        assert semantics == "TSO" and not permitted
+
+    def test_table_is_symmetric(self):
+        for a in (REGULAR, ATOMIC, ASM):
+            for b in (REGULAR, ATOMIC, ASM):
+                assert table2_semantics(a, b) == table2_semantics(b, a)
+
+    def test_exactly_five_cases(self):
+        assert len(TABLE2) == 6      # 6 unordered pairs over 3 kinds
+        assert sum(1 for _s, ok in TABLE2.values() if ok) == 2
+
+
+class TestPolicy:
+    def setup_method(self):
+        self.policy = CodeCentricPolicy(enabled=True)
+        self.binary = Binary("t")
+        self.site = self.binary.atomic_site("a", 8)
+
+    def test_seq_cst_atomic_region_flushes(self):
+        decision = self.policy.on_region_begin(FakeThread(), ATOMIC,
+                                               SEQ_CST)
+        assert decision.flush_ptsb and decision.bypass_ptsb
+
+    def test_relaxed_atomic_region_skips_flush(self):
+        """Section 3.4.1: relaxed needs atomicity only — no PTSB flush
+        (the shptr-relaxed optimization)."""
+        decision = self.policy.on_region_begin(FakeThread(), ATOMIC,
+                                               RELAXED)
+        assert not decision.flush_ptsb
+        assert decision.bypass_ptsb
+        assert self.policy.relaxed_fast_path == 1
+
+    def test_asm_region_flushes(self):
+        decision = self.policy.on_region_begin(FakeThread(), ASM, SEQ_CST)
+        assert decision.flush_ptsb and decision.bypass_ptsb
+
+    def test_atomic_ops_bypass_ptsb(self):
+        thread = FakeThread()
+        for op in (AtomicRMW(self.site, 0, "add", 1, 8),
+                   AtomicLoad(self.site, 0, 8),
+                   AtomicStore(self.site, 0, 1, 8)):
+            assert self.policy.access_bypasses_ptsb(thread, op)
+
+    def test_plain_ops_use_ptsb(self):
+        ld = Load(self.binary.load_site("l", 8), 0, 8)
+        assert not self.policy.access_bypasses_ptsb(FakeThread(), ld)
+
+    def test_volatile_ops_bypass_ptsb(self):
+        """Figure 12: volatile flags get the SC semantics the programmer
+        intended."""
+        st = Store(self.binary.store_site("s", 4), 0, 1, 4, volatile=True)
+        assert self.policy.access_bypasses_ptsb(FakeThread(), st)
+
+    def test_everything_in_asm_region_bypasses(self):
+        thread = FakeThread(regions=[(ASM, SEQ_CST)])
+        ld = Load(self.binary.load_site("l2", 8), 0, 8)
+        assert self.policy.access_bypasses_ptsb(thread, ld)
+
+    def test_disabled_policy_is_all_nops(self):
+        """The unsafe ablation (Sheriff-equivalent behaviour)."""
+        policy = CodeCentricPolicy(enabled=False)
+        decision = policy.on_region_begin(FakeThread(), ASM, SEQ_CST)
+        assert not decision.flush_ptsb and not decision.bypass_ptsb
+        rmw = AtomicRMW(self.site, 0, "add", 1, 8)
+        assert not policy.access_bypasses_ptsb(FakeThread(), rmw)
+
+    def test_flush_counter(self):
+        self.policy.on_region_begin(FakeThread(), ATOMIC, SEQ_CST)
+        self.policy.on_region_begin(FakeThread(), ASM, SEQ_CST)
+        self.policy.on_region_begin(FakeThread(), ATOMIC, RELAXED)
+        assert self.policy.flushes == 2

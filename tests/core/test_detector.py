@@ -1,0 +1,149 @@
+"""The false sharing detector: filtering, thresholds, targeting."""
+
+import pytest
+
+from repro.core.config import TmiConfig
+from repro.core.detector import FalseSharingDetector
+from repro.isa import Binary, Disassembler
+from repro.oskit.perf import PebsRecord
+from repro.oskit.procmaps import AddressMap, MapEntry
+from repro.sim.addrspace import AddressSpace, Backing
+from repro.sim.costs import CostModel
+from repro.sim.physmem import PhysicalMemory
+
+HEAP = 0x4000_0000
+
+
+def build_detector(config=None):
+    binary = Binary("d")
+    load = binary.load_site("ld", 8)
+    store = binary.store_site("st", 8)
+    physmem = PhysicalMemory()
+    aspace = AddressSpace(physmem, CostModel())
+    aspace.mmap(HEAP, 1 << 20, Backing(physmem, 1 << 20, "heap"),
+                name="heap")
+    amap = AddressMap([
+        MapEntry(HEAP, HEAP + (1 << 20), "heap", "heap"),
+        MapEntry(0x9000_0000, 0x9001_0000, "stack:1", "stack"),
+    ])
+    detector = FalseSharingDetector(Disassembler(binary), amap, aspace,
+                                    config or TmiConfig())
+    return detector, load, store
+
+
+def record(pc, va, tid=1):
+    return PebsRecord(cycle=0, tid=tid, pc=pc, va=va)
+
+
+class TestFiltering:
+    def test_stack_addresses_filtered(self):
+        detector, load, _ = build_detector()
+        detector.add_records([record(load.pc, 0x9000_0100)])
+        assert detector.filtered_total == 1
+        assert not detector.lines
+
+    def test_unknown_pc_dropped(self):
+        detector, _, _ = build_detector()
+        detector.add_records([record(0xDEAD, HEAP)])
+        assert detector.unknown_pc_total == 1
+
+    def test_heap_addresses_aggregated(self):
+        detector, load, _ = build_detector()
+        detector.add_records([record(load.pc, HEAP + 8)])
+        assert HEAP in detector.lines
+
+
+class TestRepairPolicy:
+    def fs_records(self, load, store, n, line=HEAP):
+        out = []
+        for i in range(n):
+            out.append(record(store.pc, line + 0, tid=1))
+            out.append(record(load.pc, line + 32, tid=2))
+        return out
+
+    def test_hot_false_sharing_targeted(self):
+        config = TmiConfig(repair_threshold_events=100, period=100)
+        detector, load, store = build_detector(config)
+        detector.add_records(self.fs_records(load, store, 5))
+        report = detector.analyze(1, period=100)
+        assert len(report.targets) == 1
+        target = report.targets[0]
+        assert target.page_va == HEAP
+        assert target.line_va == HEAP
+
+    def test_cold_line_not_targeted(self):
+        config = TmiConfig(repair_threshold_events=100_000, period=100)
+        detector, load, store = build_detector(config)
+        detector.add_records(self.fs_records(load, store, 3))
+        report = detector.analyze(1, period=100)
+        assert not report.targets
+
+    def test_true_sharing_not_targeted(self):
+        """Locks and shared counters must never trigger repair."""
+        config = TmiConfig(repair_threshold_events=100, period=100)
+        detector, load, store = build_detector(config)
+        records = []
+        for _ in range(10):
+            records.append(record(store.pc, HEAP + 8, tid=1))
+            records.append(record(store.pc, HEAP + 8, tid=2))
+        detector.add_records(records)
+        report = detector.analyze(1, period=100)
+        assert not report.targets
+        assert report.true_lines == 1
+
+    def test_cumulative_rate_accumulates_across_intervals(self):
+        """A hot line sampled slowly still crosses the bar eventually."""
+        config = TmiConfig(repair_threshold_events=600, period=100)
+        detector, load, store = build_detector(config)
+        for interval in range(1, 4):
+            detector.add_records(self.fs_records(load, store, 1))
+            report = detector.analyze(interval, period=100)
+        assert report.targets
+
+    def test_line_targeted_once(self):
+        config = TmiConfig(repair_threshold_events=100, period=100)
+        detector, load, store = build_detector(config)
+        detector.add_records(self.fs_records(load, store, 5))
+        first = detector.analyze(1, period=100)
+        detector.add_records(self.fs_records(load, store, 5))
+        second = detector.analyze(2, period=100)
+        assert len(first.targets) == 1
+        assert not second.targets
+
+    def test_max_repair_pages_cap(self):
+        config = TmiConfig(repair_threshold_events=100, period=100,
+                           max_repair_pages=2)
+        detector, load, store = build_detector(config)
+        records = []
+        for i in range(5):
+            records.extend(self.fs_records(load, store, 5,
+                                           line=HEAP + i * 4096))
+        detector.add_records(records)
+        report = detector.analyze(1, period=100)
+        assert len(report.targets) == 2
+
+
+class TestReporting:
+    def test_estimated_events_scaled_by_period(self):
+        detector, load, store = build_detector()
+        detector.add_records([record(load.pc, HEAP, tid=1),
+                              record(store.pc, HEAP + 8, tid=2)])
+        report = detector.analyze(1, period=100)
+        assert report.estimated_events == 200
+
+    def test_memory_bytes_grows_with_lines(self):
+        detector, load, store = build_detector()
+        before = detector.memory_bytes()
+        records = []
+        for i in range(50):
+            records.append(record(load.pc, HEAP + i * 64))
+        detector.add_records(records)
+        assert detector.memory_bytes() > before
+
+    def test_analysis_cost_scales_with_lines(self):
+        detector, load, _ = build_detector()
+        costs = CostModel()
+        empty = detector.analysis_cost(costs)
+        detector.add_records([record(load.pc, HEAP + i * 64)
+                              for i in range(100)])
+        assert detector.analysis_cost(costs) > empty

@@ -1,0 +1,180 @@
+"""PTSB twin/diff/merge mechanics, including the paper's Figure 3
+word-tearing litmus (AMBSA violation)."""
+
+import pytest
+
+from repro.core.ptsb import PageTwinningStoreBuffer, _changed_runs
+from repro.engine.thread import SimProcess
+from repro.sim.addrspace import AddressSpace, Backing
+from repro.sim.costs import CostModel, PAGE_2M
+from repro.sim.machine import Machine
+
+BASE = 0x4000_0000
+
+
+def make_process(machine, page_size=4096, pid=1):
+    aspace = AddressSpace(machine.physmem, machine.costs, f"p{pid}")
+    backing = Backing(machine.physmem, 1 << 21, "app", file_backed=True)
+    aspace.mmap(BASE, 1 << 21, backing, page_size=page_size, name="heap")
+    proc = SimProcess(pid=pid, aspace=aspace)
+    return proc, backing
+
+
+class TestChangedRuns:
+    def test_no_change(self):
+        assert _changed_runs(b"\x00" * 256, b"\x00" * 256) == []
+
+    def test_single_byte(self):
+        twin = bytearray(256)
+        work = bytearray(256)
+        work[100] = 7
+        assert _changed_runs(bytes(twin), bytes(work)) == [(100, 101)]
+
+    def test_run_spanning_lines(self):
+        twin = bytearray(256)
+        work = bytearray(256)
+        for i in range(60, 70):
+            work[i] = 1
+        runs = _changed_runs(bytes(twin), bytes(work))
+        merged = []
+        for start, end in runs:
+            if merged and merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], end)
+            else:
+                merged.append((start, end))
+        assert merged == [(60, 70)]
+
+    def test_change_at_page_end(self):
+        twin = bytearray(4096)
+        work = bytearray(4096)
+        work[4095] = 9
+        assert _changed_runs(bytes(twin), bytes(work)) == [(4095, 4096)]
+
+    def test_identical_value_rewrite_is_invisible(self):
+        """The diff cannot see a byte overwritten with the same value —
+        the root cause of AMBSA violations (section 2.2)."""
+        twin = bytes([5] * 64)
+        work = bytes([5] * 64)
+        assert _changed_runs(twin, work) == []
+
+
+class TestCommit:
+    def test_write_captures_twin_and_commit_merges(self, machine):
+        proc, backing = make_process(machine)
+        ptsb = PageTwinningStoreBuffer(proc, machine, machine.costs)
+        proc.aspace.protect_page(BASE)
+        tr = proc.aspace.translate(BASE + 8, 8, True)
+        machine.physmem.write_int(tr.pa, 1234, 8)
+        assert ptsb.dirty_pages == 1
+        cost = ptsb.commit(core=0, reason="lock")
+        assert cost > 0
+        assert machine.physmem.read_int(backing.base_pa + 8, 8) == 1234
+        assert ptsb.dirty_pages == 0
+
+    def test_commit_rearms_page(self, machine):
+        proc, backing = make_process(machine)
+        ptsb = PageTwinningStoreBuffer(proc, machine, machine.costs)
+        proc.aspace.protect_page(BASE)
+        tr = proc.aspace.translate(BASE, 8, True)
+        machine.physmem.write_int(tr.pa, 1, 8)
+        ptsb.commit(0, "lock")
+        # reads now see shared again; next write re-COWs
+        assert proc.aspace.translate(BASE, 8, False).pa == backing.base_pa
+        tr2 = proc.aspace.translate(BASE, 8, True)
+        assert tr2.pa != backing.base_pa
+        assert ptsb.dirty_pages == 1
+
+    def test_commit_only_touches_changed_bytes(self, machine):
+        proc, backing = make_process(machine)
+        machine.physmem.write_int(backing.base_pa + 0, 111, 8)
+        ptsb = PageTwinningStoreBuffer(proc, machine, machine.costs)
+        proc.aspace.protect_page(BASE)
+        tr = proc.aspace.translate(BASE + 64, 8, True)
+        machine.physmem.write_int(tr.pa + 0, 999, 8)   # offset 64
+        # concurrent shared update to a byte this process didn't change
+        machine.physmem.write_int(backing.base_pa + 0, 222, 8)
+        ptsb.commit(0, "lock")
+        assert machine.physmem.read_int(backing.base_pa + 0, 8) == 222
+        assert machine.physmem.read_int(backing.base_pa + 64, 8) == 999
+
+    def test_empty_commit_is_free(self, machine):
+        proc, _ = make_process(machine)
+        ptsb = PageTwinningStoreBuffer(proc, machine, machine.costs)
+        assert ptsb.commit(0, "lock") == 0
+        assert ptsb.commit_count == 1
+
+    def test_commit_counts_stats(self, machine):
+        proc, _ = make_process(machine)
+        infos = []
+        ptsb = PageTwinningStoreBuffer(proc, machine, machine.costs,
+                                       on_commit=infos.append)
+        proc.aspace.protect_page(BASE)
+        proc.aspace.protect_page(BASE + 4096)
+        for off in (0, 4096):
+            tr = proc.aspace.translate(BASE + off, 8, True)
+            machine.physmem.write_int(tr.pa, off + 1, 8)
+        ptsb.commit(0, "barrier")
+        assert ptsb.committed_pages == 2
+        assert infos and infos[0]["pages"] == 2
+
+    def test_huge_page_commit_optimized_cheaper(self, machine):
+        costs = CostModel()
+
+        def run(optimized):
+            m = Machine(n_cores=4)
+            proc, _ = make_process(m, page_size=PAGE_2M)
+            ptsb = PageTwinningStoreBuffer(
+                proc, m, costs, huge_commit_optimization=optimized)
+            proc.aspace.protect_page(BASE)
+            tr = proc.aspace.translate(BASE, 8, True)
+            m.physmem.write_int(tr.pa, 42, 8)
+            return ptsb.commit(0, "lock")
+
+        assert run(True) < run(False)
+
+
+class TestAmbsaFigure3:
+    """Figure 3: two aligned 2-byte stores merged through PTSBs can
+    produce a value no thread ever wrote (0xABCD)."""
+
+    def test_word_tearing_reproduces(self, machine):
+        proc0, backing = make_process(machine, pid=1)
+        proc1 = SimProcess(pid=2, aspace=proc0.aspace.fork("p2"))
+        ptsb0 = PageTwinningStoreBuffer(proc0, machine, machine.costs)
+        ptsb1 = PageTwinningStoreBuffer(proc1, machine, machine.costs)
+        x = BASE + 128                       # 2-byte aligned, x == 0
+        proc0.aspace.protect_page(BASE)
+        proc1.aspace.protect_page(BASE)
+
+        # thread 0: store x <- 0xAB00 ; thread 1: store x <- 0x00CD
+        tr0 = proc0.aspace.translate(x, 2, True)
+        machine.physmem.write_int(tr0.pa, 0xAB00, 2)
+        tr1 = proc1.aspace.translate(x, 2, True)
+        machine.physmem.write_int(tr1.pa, 0x00CD, 2)
+
+        ptsb0.commit(0, "unlock")
+        ptsb1.commit(1, "unlock")
+        final = machine.physmem.read_int(backing.base_pa + 128, 2)
+        assert final == 0xABCD               # AMBSA violated
+
+    def test_no_tearing_without_race(self, machine):
+        """Lemma 3.1: with synchronization (commit+refetch between the
+        stores), the diff/merge preserves values exactly."""
+        proc0, backing = make_process(machine, pid=1)
+        proc1 = SimProcess(pid=2, aspace=proc0.aspace.fork("p2"))
+        ptsb0 = PageTwinningStoreBuffer(proc0, machine, machine.costs)
+        ptsb1 = PageTwinningStoreBuffer(proc1, machine, machine.costs)
+        x = BASE + 128
+        proc0.aspace.protect_page(BASE)
+        proc1.aspace.protect_page(BASE)
+
+        tr0 = proc0.aspace.translate(x, 2, True)
+        machine.physmem.write_int(tr0.pa, 0xAB00, 2)
+        ptsb0.commit(0, "unlock")            # release the lock
+        # thread 1 acquires: PTSB empty, sees shared value, then writes
+        tr1 = proc1.aspace.translate(x, 2, True)
+        assert machine.physmem.read_int(tr1.pa, 2) == 0xAB00
+        machine.physmem.write_int(tr1.pa, 0x00CD, 2)
+        ptsb1.commit(1, "unlock")
+        final = machine.physmem.read_int(backing.base_pa + 128, 2)
+        assert final == 0x00CD               # the last writer's value

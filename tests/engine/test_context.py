@@ -1,0 +1,143 @@
+"""ThreadCtx API: region bracketing, volatile spins, bulk touches."""
+
+import pytest
+
+from repro.baselines.pthreads import PthreadsRuntime
+from repro.engine import Engine, Program, RuntimeHooks
+from repro.errors import HangError
+from repro.isa import Binary, REGION_ASM, REGION_ATOMIC, RELAXED, SEQ_CST
+
+from helpers import run_program
+
+
+class RegionRecorder(PthreadsRuntime):
+    """Captures the code-centric callbacks the engine fires."""
+
+    def __init__(self):
+        super().__init__()
+        self.events = []
+
+    def on_region_begin(self, engine, thread, kind, ordering):
+        self.events.append(("begin", kind, ordering))
+        return 0
+
+    def on_region_end(self, engine, thread, kind):
+        self.events.append(("end", kind))
+        return 0
+
+
+class TestRegionBracketing:
+    def run_with_recorder(self, main):
+        recorder = RegionRecorder()
+        program = Program("r", Binary("r"), main, nthreads=1)
+        Engine(program, recorder).run()
+        return recorder.events
+
+    def test_atomic_ops_emit_region_markers(self):
+        def main(t):
+            buf = yield from t.malloc(64)
+            yield from t.atomic_add(buf, 1, 8)
+
+        events = self.run_with_recorder(main)
+        assert ("begin", REGION_ATOMIC, SEQ_CST) in events
+        assert ("end", REGION_ATOMIC) in events
+
+    def test_relaxed_ordering_propagates(self):
+        def main(t):
+            buf = yield from t.malloc(64)
+            yield from t.atomic_add(buf, 1, 8, ordering=RELAXED)
+
+        events = self.run_with_recorder(main)
+        assert ("begin", REGION_ATOMIC, RELAXED) in events
+
+    def test_asm_regions_explicit(self):
+        def main(t):
+            yield from t.asm_begin()
+            yield from t.compute(10)
+            yield from t.asm_end()
+
+        events = self.run_with_recorder(main)
+        assert events[0] == ("begin", REGION_ASM, SEQ_CST)
+        assert events[-1] == ("end", REGION_ASM)
+
+    def test_region_stack_tracked_on_thread(self):
+        states = []
+
+        def main(t):
+            states.append(t._thread.in_asm_region)
+            yield from t.asm_begin()
+            states.append(t._thread.in_asm_region)
+            yield from t.asm_end()
+            states.append(t._thread.in_asm_region)
+
+        run_program(main, nthreads=1)
+        assert states == [False, True, False]
+
+
+class TestVolatileSpin:
+    def test_spin_sees_update(self):
+        def main(t):
+            flag = yield from t.malloc(64)
+            yield from t.store(flag, 1, 4)
+
+            def clearer(w):
+                yield from w.compute(20_000)
+                yield from w.volatile_store(flag, 0, 4)
+
+            tid = yield from t.spawn(clearer)
+
+            def waiter(w):
+                value = yield from w.spin_while_equal(flag, 1, 4)
+                assert value == 0
+
+            tid2 = yield from t.spawn(waiter)
+            yield from t.join(tid)
+            yield from t.join(tid2)
+
+        run_program(main, nthreads=2)
+
+    def test_spin_budget_raises_hang(self):
+        def main(t):
+            flag = yield from t.malloc(64)
+            yield from t.store(flag, 1, 4)
+            yield from t.spin_while_equal(flag, 1, 4, max_spins=50)
+
+        with pytest.raises(HangError):
+            run_program(main, nthreads=1)
+
+
+class TestBulkTouch:
+    def test_bulk_faults_once_then_streams(self):
+        costs = {}
+
+        def main(t):
+            buf = yield from t.malloc(1 << 20, align=4096)
+            before = t.now_cycles()
+            yield from t.bulk_touch(buf, 512 * 1024)
+            costs["cold"] = t.now_cycles() - before
+            before = t.now_cycles()
+            yield from t.bulk_touch(buf, 512 * 1024)
+            costs["warm"] = t.now_cycles() - before
+
+        run_program(main, nthreads=1)
+        assert costs["cold"] > costs["warm"] > 0
+
+    def test_bulk_outside_mapping_fails(self):
+        from repro.errors import SimulationError
+
+        def main(t):
+            yield from t.bulk_touch(0xDEAD0000, 4096)
+
+        with pytest.raises(SimulationError):
+            run_program(main, nthreads=1)
+
+
+class TestStackAccess:
+    def test_stack_addresses_usable(self):
+        def main(t):
+            base = t.stack_base()
+            yield from t.store(base + 256, 99, 8)
+            value = yield from t.load(base + 256, 8)
+            assert value == 99
+
+        run_program(main, nthreads=1)

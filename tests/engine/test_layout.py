@@ -1,0 +1,41 @@
+"""Memory-layout geography and region classification."""
+
+from repro.engine import layout
+from repro.sim.costs import PAGE_2M
+
+
+class TestGeography:
+    def test_regions_do_not_overlap(self):
+        spans = [
+            (layout.GLOBALS_BASE, layout.GLOBALS_BASE
+             + layout.GLOBALS_SIZE),
+            (layout.INTERNAL_BASE, layout.INTERNAL_BASE
+             + layout.INTERNAL_SIZE),
+            (layout.LIBC_BASE, layout.LIBC_BASE + layout.LIBC_SIZE),
+            (layout.HEAP_BASE, layout.heap_end(1 << 30)),
+            (layout.stack_base(0), layout.stack_base(0)
+             + layout.STACK_SIZE),
+        ]
+        for i, (a_start, a_end) in enumerate(spans):
+            for b_start, b_end in spans[i + 1:]:
+                assert a_end <= b_start or b_end <= a_start
+
+    def test_bases_are_huge_page_aligned(self):
+        for base in (layout.GLOBALS_BASE, layout.HEAP_BASE):
+            assert base % PAGE_2M == 0
+
+    def test_stacks_spaced_and_disjoint(self):
+        for tid in range(8):
+            start = layout.stack_base(tid)
+            end = start + layout.STACK_SIZE
+            assert end <= layout.stack_base(tid + 1)
+
+
+class TestRegionKinds:
+    def test_classification(self):
+        assert layout.region_kind("heap") == "heap"
+        assert layout.region_kind("globals") == "globals"
+        assert layout.region_kind("stack:7") == "stack"
+        assert layout.region_kind("libc") == "lib"
+        assert layout.region_kind("tmi-internal") == "internal"
+        assert layout.region_kind("mystery") == "other"

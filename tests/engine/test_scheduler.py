@@ -1,0 +1,307 @@
+"""Execution engine: scheduling, sync, determinism, stop-the-world."""
+
+import pytest
+
+from repro.baselines.pthreads import PthreadsRuntime
+from repro.engine import Engine, Program
+from repro.errors import DeadlockError, SimulationError
+from repro.isa import Binary
+
+from helpers import fs_counter_program, run_program
+
+
+class TestBasicExecution:
+    def test_malloc_load_store_roundtrip(self):
+        def main(t):
+            buf = yield from t.malloc(256)
+            yield from t.store(buf + 8, 0xCAFE, 4)
+            value = yield from t.load(buf + 8, 4)
+            assert value == 0xCAFE
+
+        result, _ = run_program(main)
+        assert result.cycles > 0
+
+    def test_compute_advances_clock(self):
+        def main(t):
+            yield from t.compute(12345)
+
+        result, _ = run_program(main)
+        assert result.cycles >= 12345
+
+    def test_memory_initially_zero(self):
+        def main(t):
+            buf = yield from t.malloc(64)
+            value = yield from t.load(buf, 8)
+            assert value == 0
+
+        run_program(main)
+
+    def test_free_and_realloc(self):
+        def main(t):
+            a = yield from t.malloc(64)
+            yield from t.free(a)
+            b = yield from t.malloc(64)
+            assert b == a          # size-class free list recycles
+
+        run_program(main)
+
+    def test_atomics_rmw_semantics(self):
+        def main(t):
+            buf = yield from t.malloc(64)
+            old = yield from t.atomic_add(buf, 5, 8)
+            assert old == 0
+            old = yield from t.atomic_xchg(buf, 100, 8)
+            assert old == 5
+            old = yield from t.atomic_cas(buf, 100, 7, 8)
+            assert old == 100
+            old = yield from t.atomic_cas(buf, 999, 8, 8)
+            assert old == 7        # failed CAS returns observed value
+            value = yield from t.load(buf, 8)
+            assert value == 7
+
+        run_program(main)
+
+
+class TestThreads:
+    def test_spawn_join_and_shared_memory(self):
+        def main(t):
+            buf = yield from t.malloc(64)
+
+            def worker(w):
+                yield from w.store(buf, w.tid, 8)
+
+            tid = yield from t.spawn(worker)
+            yield from t.join(tid)
+            value = yield from t.load(buf, 8)
+            assert value == tid
+
+        run_program(main)
+
+    def test_join_after_exit_returns_quickly(self):
+        def main(t):
+            def worker(w):
+                yield from w.compute(10)
+
+            tid = yield from t.spawn(worker)
+            yield from t.compute(100_000)      # worker long done
+            yield from t.join(tid)
+
+        run_program(main)
+
+    def test_threads_run_on_distinct_cores(self):
+        cores = {}
+
+        def main(t):
+            def worker(w):
+                cores[w.tid] = w._thread.core
+                yield from w.compute(10)
+
+            tids = []
+            for _ in range(3):
+                tid = yield from t.spawn(worker)
+                tids.append(tid)
+            for tid in tids:
+                yield from t.join(tid)
+
+        run_program(main, nthreads=3)
+        assert len(set(cores.values())) == 3
+
+
+class TestMutex:
+    def test_mutual_exclusion_counter(self):
+        def main(t):
+            buf = yield from t.malloc(64)
+            m = yield from t.mutex()
+
+            def worker(w):
+                for _ in range(50):
+                    yield from w.lock(m)
+                    value = yield from w.load(buf, 8)
+                    yield from w.store(buf, value + 1, 8)
+                    yield from w.unlock(m)
+
+            tids = []
+            for _ in range(4):
+                tid = yield from t.spawn(worker)
+                tids.append(tid)
+            for tid in tids:
+                yield from t.join(tid)
+            total = yield from t.load(buf, 8)
+            assert total == 200
+
+        run_program(main)
+
+    def test_unlock_by_non_owner_raises(self):
+        def main(t):
+            m = yield from t.mutex()
+
+            def worker(w):
+                yield from w.unlock(m)
+
+            tid = yield from t.spawn(worker)
+            yield from t.lock(m)
+            yield from t.join(tid)
+
+        with pytest.raises(SimulationError):
+            run_program(main)
+
+    def test_contended_lock_serializes_time(self):
+        def main(t):
+            m = yield from t.mutex()
+
+            def worker(w):
+                yield from w.lock(m)
+                yield from w.compute(10_000)
+                yield from w.unlock(m)
+
+            tids = []
+            for _ in range(4):
+                tid = yield from t.spawn(worker)
+                tids.append(tid)
+            for tid in tids:
+                yield from t.join(tid)
+
+        result, _ = run_program(main)
+        assert result.cycles >= 40_000     # critical sections serialized
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_arrivals(self):
+        order = []
+
+        def main(t):
+            bar = yield from t.barrier(3)
+
+            def worker(w):
+                yield from w.compute(w.tid * 5_000)
+                order.append(("before", w.tid))
+                yield from w.barrier_wait(bar)
+                order.append(("after", w.tid))
+
+            tids = []
+            for _ in range(3):
+                tid = yield from t.spawn(worker)
+                tids.append(tid)
+            for tid in tids:
+                yield from t.join(tid)
+
+        run_program(main, nthreads=3)
+        befores = [i for i, e in enumerate(order) if e[0] == "before"]
+        afters = [i for i, e in enumerate(order) if e[0] == "after"]
+        assert max(befores) < min(afters)
+
+    def test_barrier_reusable_across_rounds(self):
+        def main(t):
+            bar = yield from t.barrier(2)
+            buf = yield from t.malloc(64)
+
+            def worker(w):
+                for round_ in range(5):
+                    yield from w.barrier_wait(bar)
+                    if w.tid == 1:
+                        yield from w.store(buf, round_ + 1, 8)
+                    yield from w.barrier_wait(bar)
+                    value = yield from w.load(buf, 8)
+                    assert value == round_ + 1
+
+            tids = []
+            for _ in range(2):
+                tid = yield from t.spawn(worker)
+                tids.append(tid)
+            for tid in tids:
+                yield from t.join(tid)
+
+        run_program(main, nthreads=2)
+
+    def test_missing_party_deadlocks(self):
+        def main(t):
+            bar = yield from t.barrier(3)      # only 2 threads arrive
+
+            def worker(w):
+                yield from w.barrier_wait(bar)
+
+            tids = []
+            for _ in range(2):
+                tid = yield from t.spawn(worker)
+                tids.append(tid)
+            for tid in tids:
+                yield from t.join(tid)
+
+        with pytest.raises(DeadlockError):
+            run_program(main)
+
+
+class TestDeterminism:
+    def test_identical_runs_are_bit_identical(self):
+        r1 = Engine(fs_counter_program(iters=500),
+                    PthreadsRuntime()).run()
+        r2 = Engine(fs_counter_program(iters=500),
+                    PthreadsRuntime()).run()
+        assert r1.cycles == r2.cycles
+        assert r1.hitm_loads == r2.hitm_loads
+        assert r1.hitm_stores == r2.hitm_stores
+
+    def test_false_sharing_slower_than_padded(self):
+        # iteration counts must exceed the pthread_create stagger or
+        # the workers never overlap in simulated time
+        fs = Engine(fs_counter_program(iters=15_000, stride=8),
+                    PthreadsRuntime()).run()
+        padded = Engine(fs_counter_program(iters=15_000, stride=64),
+                        PthreadsRuntime()).run()
+        assert fs.cycles > 3 * padded.cycles
+        assert fs.hitm_total > 10 * max(padded.hitm_total, 1)
+
+
+class TestStopTheWorld:
+    def test_stop_world_runs_callback_once_all_parked(self):
+        seen = {}
+
+        def main(t):
+            def worker(w):
+                for _ in range(200):
+                    yield from w.compute(100)
+
+            tids = []
+            for _ in range(2):
+                tid = yield from t.spawn(worker)
+                tids.append(tid)
+            for tid in tids:
+                yield from t.join(tid)
+
+        program = Program("stw", Binary("stw"), main, nthreads=2)
+        engine = Engine(program, PthreadsRuntime())
+
+        def callback(eng, stop_time):
+            seen["stop_time"] = stop_time
+            seen["states"] = sorted(
+                t.state for t in eng.threads.values())
+
+        # arm the stop after the engine starts: hook via tick
+        engine.runtime.tick_cycles = 5_000
+        engine._next_tick = 5_000
+        fired = []
+
+        def on_tick(eng, now):
+            if not fired:
+                fired.append(True)
+                eng.request_stop_world(callback)
+
+        engine.runtime.on_tick = on_tick
+        engine.run()
+        assert "stop_time" in seen
+        assert all(s in ("parked", "blocked", "done")
+                   for s in seen["states"])
+
+    def test_conversion_moves_thread_to_new_process(self):
+        def main(t):
+            yield from t.compute(10)
+
+        program = Program("conv", Binary("conv"), main, nthreads=1)
+        engine = Engine(program, PthreadsRuntime())
+        result = engine.run()
+        thread = engine.threads[0]
+        old_pid = thread.process.pid
+        proc = engine.convert_thread_to_process(thread)
+        assert thread.process is proc
+        assert proc.pid != old_pid
+        assert thread not in engine.processes[old_pid].threads

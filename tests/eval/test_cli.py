@@ -1,0 +1,49 @@
+"""CLI argument handling (no heavy experiments run here)."""
+
+import pytest
+
+from repro.eval.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_every_experiment_has_a_subcommand(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args(
+                [name] if name == "table2" else [name, "--scale", "0.1"])
+            assert args.command == name
+
+    def test_run_subcommand(self):
+        args = build_parser().parse_args(
+            ["run", "histogram", "tmi-protect", "--scale", "0.2"])
+        assert args.workload == "histogram"
+        assert args.system == "tmi-protect"
+        assert args.scale == 0.2
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom", "pthreads"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+
+class TestExecution:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "histogramfs" in out and "tmi-protect" in out
+
+    def test_table2_renders(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "TSO" in out
+        assert (tmp_path / "table2.txt").exists()
+
+    def test_run_small_workload(self, capsys):
+        assert main(["run", "swaptions", "pthreads",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "runtime" in out

@@ -1,0 +1,64 @@
+"""Shared program builders for the test suite."""
+
+from repro.baselines.pthreads import PthreadsRuntime
+from repro.engine import Engine, Program
+from repro.isa import Binary
+from repro.sim.costs import CostModel
+from repro.sim.machine import Machine
+from repro.sim.physmem import PhysicalMemory
+
+
+def make_program(main, name="test", nthreads=4, binary=None, **kwargs):
+    """Wrap a main generator function into a Program."""
+    return Program(name, binary or Binary(name), main,
+                   nthreads=nthreads, **kwargs)
+
+
+def run_program(main, runtime=None, name="test", nthreads=4, binary=None,
+                **kwargs):
+    """Build + run a program; returns (RunResult, Engine)."""
+    program = make_program(main, name, nthreads, binary, **kwargs)
+    engine = Engine(program, runtime or PthreadsRuntime())
+    result = engine.run()
+    return result, engine
+
+
+def fs_counter_program(iters=2000, stride=8, nworkers=4, compute=0,
+                       name="fscounter", env=None):
+    """Per-thread counters ``stride`` bytes apart: stride=8 falsely
+    shares one line; stride=64 is the padded manual fix."""
+    binary = Binary(name)
+    ld = binary.load_site("ld", 8)
+    st = binary.store_site("st", 8)
+    program_box = {}
+
+    def main(t):
+        buf = yield from t.malloc(4096, align=64)
+        program_box["buf"] = buf
+
+        def worker(w):
+            slot = buf + (w.tid - 1) * stride
+            for _ in range(iters):
+                value = yield from w.load(slot, 8, site=ld)
+                yield from w.store(slot, value + 1, 8, site=st)
+                if compute:
+                    yield from w.compute(compute)
+
+        tids = []
+        for i in range(nworkers):
+            tid = yield from t.spawn(worker, f"w{i}")
+            tids.append(tid)
+        for tid in tids:
+            yield from t.join(tid)
+        total = 0
+        for i in range(nworkers):
+            total += yield from t.load(buf + i * stride, 8, site=ld)
+        program_box["total"] = total
+
+    def validate(env_, engine):
+        assert program_box["total"] == iters * nworkers, program_box
+
+    program = Program(name, binary, main, nthreads=nworkers)
+    program.validate = validate
+    program.env = program_box
+    return program

@@ -1,0 +1,97 @@
+"""The paper's correctness studies (sections 2.2 and 4.5).
+
+- Figure 11: canneal's asm atomic swaps corrupt under a PTSB without
+  code-centric consistency (Sheriff), and stay correct under TMI.
+- Figure 12: cholesky's volatile-flag synchronization hangs under
+  Sheriff and completes under TMI.
+- shptr-relaxed's relaxed-atomic refcounts corrupt under Sheriff.
+"""
+
+import pytest
+
+from repro.baselines import PthreadsRuntime, SheriffRuntime
+from repro.core import TmiConfig, TmiRuntime
+from repro.engine import Engine
+from repro.errors import HangError
+from repro.eval import run_workload
+from repro.workloads import get
+
+SIMLARGE = 64 * 1024 * 1024
+
+
+def canneal(scale=0.3):
+    workload = get("canneal", scale=scale)
+    workload.footprint = SIMLARGE          # the paper's simlarge input
+    return workload
+
+
+class TestCannealFigure11:
+    def test_correct_under_pthreads(self):
+        result = Engine(canneal().build(), PthreadsRuntime()).run()
+        assert result.validated
+
+    def test_sheriff_corrupts_the_grid(self):
+        result = Engine(canneal().build(), SheriffRuntime("detect")).run()
+        assert not result.validated
+        assert "corrupted" in result.error
+
+    def test_tmi_preserves_the_grid(self):
+        result = Engine(canneal().build(), TmiRuntime("detect")).run()
+        assert result.validated
+
+    def test_tmi_without_code_centric_corrupts(self):
+        """The ablation: TMI with consistency callbacks disabled and a
+        PTSB over everything behaves like Sheriff — the atomic swaps
+        either corrupt the grid or livelock on stale private lock
+        words."""
+        config = TmiConfig(code_centric=False, targeted=False,
+                           huge_pages=False)
+        workload = canneal()
+        runtime = TmiRuntime("protect", config)
+        engine = Engine(workload.build(), runtime)
+        try:
+            result = engine.run()
+        except AssertionError as exc:
+            assert "livelock" in str(exc)
+            return
+        if runtime.stats.conversions:
+            assert not result.validated
+
+
+class TestCholeskyFigure12:
+    def test_completes_under_pthreads(self):
+        outcome = run_workload("cholesky", "pthreads")
+        assert outcome.ok
+        assert outcome.result.env.get("completed")
+
+    def test_hangs_under_sheriff(self):
+        outcome = run_workload("cholesky", "sheriff-protect")
+        assert outcome.status == "hang"
+
+    def test_completes_under_tmi(self):
+        outcome = run_workload("cholesky", "tmi-protect")
+        assert outcome.ok
+
+    def test_completes_under_laser(self):
+        """LASER's TSO store buffer preserves the flag semantics."""
+        outcome = run_workload("cholesky", "laser")
+        assert outcome.ok
+
+
+class TestSharedPtrAtomics:
+    def test_sheriff_loses_refcount_updates(self):
+        outcome = run_workload("shptr-relaxed", "sheriff-protect",
+                               scale=0.4)
+        assert outcome.status == "invalid"
+        assert "refcount" in outcome.detail
+
+    def test_tmi_preserves_refcounts_while_repairing(self):
+        outcome = run_workload("shptr-relaxed", "tmi-protect", scale=0.4)
+        assert outcome.ok
+        assert outcome.result.runtime_report["repaired"]
+
+    def test_mutex_variant_correct_everywhere(self):
+        for system in ("pthreads", "sheriff-protect", "tmi-protect",
+                       "laser"):
+            outcome = run_workload("shptr-lock", system, scale=0.3)
+            assert outcome.ok, (system, outcome.detail)

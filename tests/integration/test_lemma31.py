@@ -1,0 +1,79 @@
+"""Lemma 3.1 at system level: race-free programs produce identical
+results with and without a PTSB.
+
+The paper's correctness argument rests on this: breaking aligned
+multi-byte store atomicity requires a data race, so Sheriff-style
+whole-memory PTSBs are safe for lock-disciplined programs.  We run the
+same lock-synchronized program under every runtime and demand
+bit-identical final memory.
+"""
+
+import pytest
+
+from repro.baselines import LaserRuntime, PthreadsRuntime, SheriffRuntime
+from repro.core import TmiConfig, TmiRuntime
+from repro.engine import Engine, Program
+from repro.isa import Binary
+
+RUNTIMES = [
+    ("pthreads", lambda: PthreadsRuntime()),
+    ("sheriff", lambda: SheriffRuntime("protect")),
+    ("tmi", lambda: TmiRuntime("protect")),
+    ("laser", lambda: LaserRuntime(TmiConfig())),
+]
+
+
+def synchronized_program(results):
+    """Workers make interleaved multi-byte writes to shared slots,
+    always under a lock; final memory must be determined."""
+    binary = Binary("lemma")
+    ld = binary.load_site("ld", 4)
+    st = binary.store_site("st", 4)
+
+    def main(t):
+        shared = yield from t.malloc(4096, align=64)
+        m = yield from t.mutex()
+
+        def worker(w):
+            for i in range(400):
+                slot = shared + ((i * 3 + w.tid) % 16) * 4
+                yield from w.lock(m)
+                value = yield from w.load(slot, 4, site=ld)
+                yield from w.store(slot, (value + w.tid * 7 + i)
+                                   & 0xFFFFFFFF, 4, site=st)
+                yield from w.unlock(m)
+
+        tids = []
+        for _ in range(4):
+            tid = yield from t.spawn(worker)
+            tids.append(tid)
+        for tid in tids:
+            yield from t.join(tid)
+        final = []
+        for i in range(16):
+            value = yield from t.load(shared + i * 4, 4, site=ld)
+            final.append(value)
+        results.append(final)
+
+    return Program("lemma", binary, main, nthreads=4)
+
+
+class TestLemma31:
+    def test_all_runtimes_agree_on_final_memory(self):
+        snapshots = {}
+        for name, factory in RUNTIMES:
+            results = []
+            Engine(synchronized_program(results), factory()).run()
+            snapshots[name] = results[0]
+        reference = snapshots["pthreads"]
+        for name, snapshot in snapshots.items():
+            assert snapshot == reference, (
+                f"{name} diverged from pthreads: {snapshot} "
+                f"vs {reference}")
+
+    @pytest.mark.parametrize("name,factory", RUNTIMES)
+    def test_each_runtime_deterministic(self, name, factory):
+        a, b = [], []
+        Engine(synchronized_program(a), factory()).run()
+        Engine(synchronized_program(b), factory()).run()
+        assert a == b

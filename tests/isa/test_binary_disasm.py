@@ -1,0 +1,71 @@
+"""Binary images and the detector's disassembler."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.isa import Binary, Disassembler, TEXT_BASE
+
+
+class TestBinary:
+    def test_sites_get_distinct_pcs(self):
+        binary = Binary("b")
+        a = binary.load_site("a", 8)
+        b = binary.store_site("b", 4)
+        assert a.pc != b.pc
+        assert a.pc >= TEXT_BASE
+
+    def test_lookup_roundtrip(self):
+        binary = Binary("b")
+        site = binary.load_site("x", 2)
+        assert binary.lookup(site.pc) is site
+        assert binary.lookup(site.pc + 1) is None
+
+    def test_auto_site_shared_per_kind_width(self):
+        binary = Binary("b")
+        a = binary.auto_site("load", 8)
+        b = binary.auto_site("load", 8)
+        c = binary.auto_site("load", 4)
+        assert a is b and a is not c
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            Binary("b").site("jump", 8)
+
+    def test_static_instruction_count(self):
+        binary = Binary("b")
+        binary.load_site("a", 8)
+        binary.store_site("b", 8)
+        assert binary.static_instruction_count == 2
+
+
+class TestDisassembler:
+    def test_decode_load_store_and_width(self):
+        """Section 3.1: the detector recovers access kind and width
+        from the PC by disassembling the binary."""
+        binary = Binary("b")
+        load = binary.load_site("ld", 1)
+        store = binary.store_site("st", 4)
+        disasm = Disassembler(binary)
+        d_load = disasm.decode(load.pc)
+        assert d_load.is_load and not d_load.is_store
+        assert d_load.width == 1
+        d_store = disasm.decode(store.pc)
+        assert d_store.is_store and not d_store.is_load
+        assert d_store.width == 4
+
+    def test_atomics_decode_as_stores(self):
+        binary = Binary("b")
+        site = binary.atomic_site("rmw", 8)
+        decoded = Disassembler(binary).decode(site.pc)
+        assert decoded.is_store
+
+    def test_unknown_pc_decodes_to_none(self):
+        disasm = Disassembler(Binary("b"))
+        assert disasm.decode(0xDEAD) is None
+
+    def test_analyze_all_covers_text_segment(self):
+        binary = Binary("b")
+        for i in range(10):
+            binary.load_site(f"l{i}", 8)
+        table = Disassembler(binary).analyze_all()
+        assert len(table) == 10

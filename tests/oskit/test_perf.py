@@ -1,0 +1,103 @@
+"""PEBS/perf sampling model."""
+
+import pytest
+
+from repro.oskit.perf import PerfSession
+from repro.sim.costs import CostModel
+from repro.sim.events import HitmEvent
+
+
+def hitm(tid=1, pc=0x400000, va=0x1000, is_store=False, cycle=0):
+    return HitmEvent(cycle=cycle, core=0, tid=tid, pc=pc, va=va, pa=va,
+                     width=8, is_store=is_store, remote_core=1)
+
+
+@pytest.fixture
+def session():
+    return PerfSession(CostModel(), period=10)
+
+
+class TestSampling:
+    def test_unattached_thread_not_sampled(self, session):
+        assert session.on_hitm(hitm(tid=9)) == 0
+        assert session.records_made == 0
+
+    def test_period_thins_records(self, session):
+        session.attach_thread(1)
+        for _ in range(100):
+            session.on_hitm(hitm())
+        assert session.records_made == 10
+
+    def test_period_one_records_everything(self):
+        session = PerfSession(CostModel(), period=1)
+        session.attach_thread(1)
+        for _ in range(50):
+            session.on_hitm(hitm())
+        assert session.records_made == 50
+
+    def test_stores_subsampled(self, session):
+        """Store HITMs produce records at a lower rate than loads."""
+        costs = CostModel()
+        loads = PerfSession(costs, period=1)
+        loads.attach_thread(1)
+        stores = PerfSession(costs, period=1)
+        stores.attach_thread(1)
+        for _ in range(90):
+            loads.on_hitm(hitm(is_store=False))
+            stores.on_hitm(hitm(is_store=True))
+        assert stores.records_made < loads.records_made
+        assert stores.records_made == 90 // costs.pebs_store_subsample
+
+    def test_record_cost_charged_to_app_thread(self, session):
+        session.attach_thread(1)
+        costs = [session.on_hitm(hitm()) for _ in range(10)]
+        assert costs[-1] == CostModel().pebs_record
+        assert all(c == 0 for c in costs[:-1])
+
+    def test_buffer_interrupt_on_overflow(self):
+        costs = CostModel()
+        session = PerfSession(costs, period=1)
+        session.attach_thread(1)
+        charged = [session.on_hitm(hitm())
+                   for _ in range(costs.pebs_buffer_records)]
+        assert charged[-1] == costs.pebs_record + costs.pebs_interrupt
+        assert session.interrupts == 1
+
+    def test_occasional_address_skid(self):
+        session = PerfSession(CostModel(), period=1)
+        session.attach_thread(1)
+        for _ in range(PerfSession.ADDR_SKID_EVERY * 2):
+            session.on_hitm(hitm(va=0x1000))
+        records = session.drain()
+        vas = {r.va for r in records}
+        assert 0x1000 in vas
+        assert 0x1000 + PerfSession.ADDR_SKID_BYTES in vas
+
+    def test_records_hide_ground_truth(self, session):
+        session.attach_thread(1)
+        for _ in range(10):
+            session.on_hitm(hitm())
+        record = session.drain()[0]
+        assert not hasattr(record, "pa")
+        assert not hasattr(record, "is_store")
+
+
+class TestEstimation:
+    def test_drain_empties_buffers(self, session):
+        session.attach_thread(1)
+        for _ in range(30):
+            session.on_hitm(hitm())
+        assert len(session.drain()) == 3
+        assert session.drain() == []
+
+    def test_estimated_events_scales_by_period(self, session):
+        session.attach_thread(1)
+        for _ in range(100):
+            session.on_hitm(hitm())
+        assert session.estimated_events() == 100
+
+    def test_buffer_memory_grows_with_threads(self, session):
+        session.attach_thread(1)
+        one = session.buffer_memory_bytes()
+        session.attach_thread(2)
+        assert session.buffer_memory_bytes() == 2 * one

@@ -1,0 +1,123 @@
+"""Address-map filtering and the ptrace monitor."""
+
+from repro.baselines.pthreads import PthreadsRuntime
+from repro.engine import Engine, Program
+from repro.engine import layout
+from repro.isa import Binary
+from repro.oskit.procmaps import AddressMap, MapEntry
+from repro.oskit.ptrace import PtraceMonitor
+
+
+def map_with(*entries):
+    return AddressMap([MapEntry(*e) for e in entries])
+
+
+class TestAddressMap:
+    def test_classify_by_region(self):
+        amap = map_with(
+            (0x1000, 0x2000, "globals", "globals"),
+            (0x4000, 0x8000, "heap", "heap"),
+            (0x9000, 0xA000, "stack:1", "stack"),
+            (0xB000, 0xC000, "libc", "lib"),
+        )
+        assert amap.classify(0x1800) == "globals"
+        assert amap.classify(0x4000) == "heap"
+        assert amap.classify(0x9FFF) == "stack"
+        assert amap.classify(0xB500) == "lib"
+        assert amap.classify(0x3000) is None
+
+    def test_repair_eligibility_filter(self):
+        """Section 3.1: repair is restricted to heap and globals."""
+        amap = map_with(
+            (0x1000, 0x2000, "globals", "globals"),
+            (0x4000, 0x8000, "heap", "heap"),
+            (0x9000, 0xA000, "stack:1", "stack"),
+            (0xB000, 0xC000, "libc", "lib"),
+        )
+        assert amap.repair_eligible(0x1500)
+        assert amap.repair_eligible(0x5000)
+        assert not amap.repair_eligible(0x9800)
+        assert not amap.repair_eligible(0xB800)
+
+    def test_from_aspace_reflects_layout(self):
+        def main(t):
+            yield from t.compute(1)
+
+        program = Program("m", Binary("m"), main, nthreads=1)
+        engine = Engine(program, PthreadsRuntime())
+        engine.run()
+        amap = AddressMap.from_aspace(engine.root_aspace)
+        assert amap.classify(layout.HEAP_BASE) == "heap"
+        assert amap.classify(layout.GLOBALS_BASE) == "globals"
+        assert amap.classify(layout.stack_base(0)) == "stack"
+        assert amap.classify(layout.LIBC_BASE) == "lib"
+
+
+class TestPtraceMonitor:
+    def _engine(self, nthreads=2, work=400):
+        def main(t):
+            def worker(w):
+                for _ in range(work):
+                    yield from w.compute(200)
+
+            tids = []
+            for _ in range(nthreads):
+                tid = yield from t.spawn(worker)
+                tids.append(tid)
+            for tid in tids:
+                yield from t.join(tid)
+
+        program = Program("pt", Binary("pt"), main, nthreads=nthreads)
+        return Engine(program, PthreadsRuntime())
+
+    def test_convert_all_threads_makes_processes(self):
+        engine = self._engine()
+        monitor = PtraceMonitor(engine)
+        converted = {}
+
+        def arm(eng, now):
+            if not converted:
+                converted["x"] = True
+                monitor.stop_all_and(monitor.convert_all_threads)
+
+        engine.runtime.tick_cycles = 30_000
+        engine._next_tick = 30_000
+        engine.runtime.on_tick = arm
+        engine.run()
+        pids = {t.process.pid for t in engine.threads.values()}
+        assert len(pids) == len(engine.threads)
+
+    def test_t2p_latency_under_200us(self):
+        """Table 3: every conversion completes in under 200us."""
+        engine = self._engine()
+        monitor = PtraceMonitor(engine)
+        armed = []
+
+        def arm(eng, now):
+            if not armed:
+                armed.append(True)
+                monitor.stop_all_and(monitor.convert_all_threads)
+
+        engine.runtime.tick_cycles = 30_000
+        engine._next_tick = 30_000
+        engine.runtime.on_tick = arm
+        engine.run()
+        record = monitor.conversions[0]
+        assert 0 < record.t2p_microseconds(engine.costs) < 200
+
+    def test_threads_charged_for_the_stop(self):
+        engine = self._engine()
+        monitor = PtraceMonitor(engine)
+        armed = []
+
+        def arm(eng, now):
+            if not armed:
+                armed.append(True)
+                monitor.stop_all_and(lambda e, t: None)
+
+        engine.runtime.tick_cycles = 30_000
+        engine._next_tick = 30_000
+        engine.runtime.on_tick = arm
+        baseline = self._engine().run().cycles
+        stopped = engine.run().cycles
+        assert stopped > baseline

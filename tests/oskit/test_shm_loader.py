@@ -1,0 +1,69 @@
+"""Shared-memory namespace and the loader callback table."""
+
+import pytest
+
+from repro.errors import InvalidMappingError
+from repro.oskit.loader import CallbackTable
+from repro.oskit.shm import SharedMemoryNamespace
+from repro.sim.physmem import PhysicalMemory
+
+
+class TestShm:
+    def test_shm_open_creates_file_backed_region(self, physmem):
+        ns = SharedMemoryNamespace(physmem)
+        region = ns.shm_open("tmi-app", 1 << 20)
+        assert region.file_backed
+        assert region.nbytes == 1 << 20
+
+    def test_reopen_returns_same_region(self, physmem):
+        ns = SharedMemoryNamespace(physmem)
+        a = ns.shm_open("x", 4096)
+        b = ns.shm_open("x", 4096)
+        assert a is b
+
+    def test_reopen_with_different_size_rejected(self, physmem):
+        ns = SharedMemoryNamespace(physmem)
+        ns.shm_open("x", 4096)
+        with pytest.raises(InvalidMappingError):
+            ns.shm_open("x", 8192)
+
+    def test_unlink_allows_fresh_region(self, physmem):
+        ns = SharedMemoryNamespace(physmem)
+        a = ns.shm_open("x", 4096)
+        ns.shm_unlink("x")
+        b = ns.shm_open("x", 4096)
+        assert a is not b
+
+    def test_names_listing(self, physmem):
+        ns = SharedMemoryNamespace(physmem)
+        ns.shm_open("b", 4096)
+        ns.shm_open("a", 4096)
+        assert ns.names() == ["a", "b"]
+
+
+class TestCallbackTable:
+    def test_default_callbacks_are_nops(self):
+        table = CallbackTable()
+        assert table.fire("atomic_begin") == 0
+        assert table.installed_by is None
+
+    def test_install_replaces_implementation(self):
+        table = CallbackTable()
+        calls = []
+        table.install("tmi", atomic_begin=lambda *a: calls.append(a) or 7)
+        assert table.fire("atomic_begin", "thread") == 7
+        assert calls == [("thread",)]
+        assert table.installed_by == "tmi"
+        # uninstalled callbacks stay NOPs
+        assert table.fire("asm_end") == 0
+
+    def test_unknown_callback_rejected(self):
+        with pytest.raises(KeyError):
+            CallbackTable().install("x", jit_enter=lambda: 1)
+
+    def test_reset_restores_nops(self):
+        table = CallbackTable()
+        table.install("tmi", asm_begin=lambda *a: 5)
+        table.reset()
+        assert table.fire("asm_begin") == 0
+        assert table.installed_by is None

@@ -1,0 +1,202 @@
+"""Virtual memory: mappings, translation, COW, protection, fork."""
+
+import pytest
+
+from repro.errors import InvalidMappingError, SegmentationFault
+from repro.sim.addrspace import (AddressSpace, Backing, PRIVATE, SHARED)
+from repro.sim.costs import CostModel, PAGE_2M, PAGE_4K
+
+BASE = 0x1000_0000
+
+
+@pytest.fixture
+def aspace(physmem):
+    return AddressSpace(physmem, CostModel(), "test")
+
+
+@pytest.fixture
+def mapped(aspace, physmem):
+    backing = Backing(physmem, 1 << 20, "app", file_backed=True)
+    mapping = aspace.mmap(BASE, 1 << 20, backing, name="heap")
+    return aspace, mapping, backing
+
+
+class TestMapping:
+    def test_mmap_and_lookup(self, mapped):
+        aspace, mapping, _ = mapped
+        assert aspace.mapping_at(BASE) is mapping
+        assert aspace.mapping_at(BASE + (1 << 20) - 1) is mapping
+        assert aspace.mapping_at(BASE + (1 << 20)) is None
+        assert aspace.mapping_at(BASE - 1) is None
+
+    def test_overlap_rejected(self, mapped, physmem):
+        aspace, _, _ = mapped
+        other = Backing(physmem, 1 << 20, "x")
+        with pytest.raises(InvalidMappingError):
+            aspace.mmap(BASE + 4096, 1 << 20, other)
+
+    def test_unaligned_rejected(self, aspace, physmem):
+        backing = Backing(physmem, 1 << 20, "x")
+        with pytest.raises(InvalidMappingError):
+            aspace.mmap(BASE + 100, 4096, backing)
+
+    def test_mapping_past_backing_rejected(self, aspace, physmem):
+        backing = Backing(physmem, 4096, "x")
+        with pytest.raises(InvalidMappingError):
+            aspace.mmap(BASE, 8192, backing)
+
+    def test_munmap(self, mapped):
+        aspace, _, _ = mapped
+        aspace.munmap(BASE)
+        assert aspace.mapping_at(BASE) is None
+
+    def test_unmapped_access_segfaults(self, aspace):
+        with pytest.raises(SegmentationFault):
+            aspace.translate(0xDEAD0000, 8, False)
+
+
+class TestTranslation:
+    def test_shared_translation_hits_backing(self, mapped):
+        aspace, _, backing = mapped
+        tr = aspace.translate(BASE + 0x1234, 8, False)
+        assert tr.pa == backing.base_pa + 0x1234
+
+    def test_first_touch_charges_fault(self, mapped):
+        aspace, _, _ = mapped
+        tr1 = aspace.translate(BASE, 8, False)
+        tr2 = aspace.translate(BASE + 8, 8, False)
+        assert tr1.cost > 0 and tr1.faults
+        assert tr2.cost == 0 and not tr2.faults
+
+    def test_file_backed_fault_costs_more_than_anon(self, aspace, physmem):
+        costs = CostModel()
+        filed = Backing(physmem, 1 << 20, "f", file_backed=True)
+        anon = Backing(physmem, 1 << 20, "a", file_backed=False)
+        aspace.mmap(BASE, 1 << 20, filed, name="heap")
+        aspace.mmap(BASE + (1 << 20), 1 << 20, anon, name="anon")
+        f = aspace.translate(BASE, 8, False).cost
+        a = aspace.translate(BASE + (1 << 20), 8, False).cost
+        assert f == costs.fault_shared_file
+        assert a == costs.fault_anon
+
+    def test_access_crossing_page_segfaults(self, mapped):
+        aspace, _, _ = mapped
+        with pytest.raises(SegmentationFault):
+            aspace.translate(BASE + PAGE_4K - 4, 8, False)
+
+    def test_write_to_readonly_shared_segfaults(self, mapped):
+        aspace, _, _ = mapped
+        aspace.protect_page(BASE, writable=False, mode=SHARED)
+        with pytest.raises(SegmentationFault):
+            aspace.translate(BASE, 8, True)
+
+
+class TestCopyOnWrite:
+    def test_protected_read_stays_shared(self, mapped):
+        aspace, _, backing = mapped
+        aspace.protect_page(BASE)
+        tr = aspace.translate(BASE + 8, 8, False)
+        assert tr.pa == backing.base_pa + 8
+
+    def test_protected_write_cows(self, mapped, physmem):
+        aspace, _, backing = mapped
+        physmem.write_int(backing.base_pa + 16, 77, 8)
+        aspace.protect_page(BASE)
+        tr = aspace.translate(BASE + 16, 8, True)
+        assert tr.pa != backing.base_pa + 16
+        # the private copy carries the original contents
+        assert physmem.read_int(tr.pa, 8) == 77
+        assert any(kind == "cow" for kind, _va, _sz in tr.faults)
+
+    def test_cow_isolates_from_shared_writes(self, mapped, physmem):
+        aspace, _, backing = mapped
+        aspace.protect_page(BASE)
+        tr = aspace.translate(BASE, 8, True)
+        physmem.write_int(tr.pa, 1, 8)                  # private write
+        physmem.write_int(backing.base_pa, 2, 8)        # shared write
+        again = aspace.translate(BASE, 8, False)
+        assert physmem.read_int(again.pa, 8) == 1       # still private
+
+    def test_cow_hook_fires_once_per_page(self, mapped):
+        aspace, _, _ = mapped
+        calls = []
+        aspace.cow_hook = lambda *a: calls.append(a) or 0
+        aspace.protect_page(BASE)
+        aspace.translate(BASE, 8, True)
+        aspace.translate(BASE + 32, 8, True)
+        assert len(calls) == 1
+
+    def test_unprotect_drops_private_frame(self, mapped, physmem):
+        aspace, _, backing = mapped
+        aspace.protect_page(BASE)
+        tr = aspace.translate(BASE, 8, True)
+        physmem.write_int(tr.pa, 42, 8)
+        aspace.unprotect_page(BASE)
+        back = aspace.translate(BASE, 8, False)
+        assert back.pa == backing.base_pa
+        assert aspace.private_bytes == 0
+
+    def test_shared_pa_always_sees_backing(self, mapped):
+        aspace, _, backing = mapped
+        aspace.protect_page(BASE)
+        aspace.translate(BASE, 8, True)
+        assert aspace.shared_pa(BASE) == backing.base_pa
+
+
+class TestHugePages:
+    def test_huge_mapping_faults_per_2mb(self, aspace, physmem):
+        backing = Backing(physmem, 4 * PAGE_2M, "huge", file_backed=True)
+        aspace.mmap(0x4000_0000, 4 * PAGE_2M, backing,
+                    page_size=PAGE_2M, name="heap")
+        aspace.translate(0x4000_0000, 8, False)
+        aspace.translate(0x4000_0000 + PAGE_2M - 8, 8, False)
+        assert aspace.fault_count["shared_file"] == 1
+        aspace.translate(0x4000_0000 + PAGE_2M, 8, False)
+        assert aspace.fault_count["shared_file"] == 2
+
+    def test_huge_cow_copies_whole_page(self, aspace, physmem):
+        backing = Backing(physmem, PAGE_2M, "huge", file_backed=True)
+        aspace.mmap(0x4000_0000, PAGE_2M, backing, page_size=PAGE_2M,
+                    name="heap")
+        physmem.write_int(backing.base_pa + PAGE_2M - 8, 9, 8)
+        aspace.protect_page(0x4000_0000)
+        tr = aspace.translate(0x4000_0000, 8, True)
+        assert physmem.read_int(tr.pa + PAGE_2M - 8, 8) == 9
+
+
+class TestFork:
+    def test_fork_shares_shared_pages(self, mapped, physmem):
+        aspace, _, backing = mapped
+        child = aspace.fork("child")
+        tr = child.translate(BASE, 8, False)
+        assert tr.pa == backing.base_pa
+
+    def test_fork_inherits_protection(self, mapped):
+        aspace, _, backing = mapped
+        aspace.protect_page(BASE)
+        child = aspace.fork("child")
+        tr = child.translate(BASE, 8, True)
+        assert tr.pa != backing.base_pa
+
+    def test_fork_duplicates_private_frames(self, mapped, physmem):
+        aspace, _, _ = mapped
+        aspace.protect_page(BASE)
+        tr = aspace.translate(BASE, 8, True)
+        physmem.write_int(tr.pa, 5, 8)
+        child = aspace.fork("child")
+        child_tr = child.translate(BASE, 8, True)
+        assert child_tr.pa != tr.pa
+        assert physmem.read_int(child_tr.pa, 8) == 5
+        physmem.write_int(child_tr.pa, 6, 8)
+        assert physmem.read_int(tr.pa, 8) == 5
+
+    def test_processes_isolate_after_protection(self, mapped, physmem):
+        """The repair property: two processes writing the same virtual
+        page touch different physical lines."""
+        aspace, _, _ = mapped
+        aspace.protect_page(BASE)
+        child_a = aspace.fork("a")
+        child_b = aspace.fork("b")
+        pa_a = child_a.translate(BASE, 8, True).pa
+        pa_b = child_b.translate(BASE + 8, 8, True).pa
+        assert (pa_a & ~63) != (pa_b & ~63)

@@ -1,0 +1,152 @@
+"""Coherence directory: MESI transitions, HITM events, contention."""
+
+import pytest
+
+from repro.sim.cache import (CoherenceDirectory, EXCLUSIVE, MODIFIED,
+                             SHARED_ST)
+from repro.sim.costs import CostModel
+
+LINE = 0x1000
+
+
+@pytest.fixture
+def directory():
+    return CoherenceDirectory(CostModel(), n_cores=4)
+
+
+class TestMesiStates:
+    def test_cold_read_gets_exclusive(self, directory):
+        directory.access(0, LINE, 8, False)
+        assert directory.line_holders(LINE) == {0: EXCLUSIVE}
+
+    def test_write_gets_modified(self, directory):
+        directory.access(0, LINE, 8, True)
+        assert directory.line_holders(LINE) == {0: MODIFIED}
+
+    def test_second_reader_demotes_exclusive(self, directory):
+        directory.access(0, LINE, 8, False)
+        directory.access(1, LINE, 8, False)
+        assert directory.line_holders(LINE) == {0: SHARED_ST, 1: SHARED_ST}
+
+    def test_write_invalidates_sharers(self, directory):
+        directory.access(0, LINE, 8, False)
+        directory.access(1, LINE, 8, False)
+        directory.access(2, LINE, 8, True)
+        assert directory.line_holders(LINE) == {2: MODIFIED}
+
+    def test_exclusive_upgrade_is_silent(self, directory):
+        directory.access(0, LINE, 8, False)
+        out = directory.access(0, LINE, 8, True)
+        assert directory.line_holders(LINE) == {0: MODIFIED}
+        assert not out.hitm
+
+    def test_own_modified_hits(self, directory):
+        directory.access(0, LINE, 8, True)
+        out = directory.access(0, LINE, 8, False)
+        assert out.cost == CostModel().load_hit
+
+
+class TestHitm:
+    def test_load_from_remote_modified_is_hitm(self, directory):
+        directory.access(0, LINE, 8, True)
+        out = directory.access(1, LINE, 8, False)
+        assert out.hitm and out.hitm_remotes == [0]
+        assert directory.hitm_load_count == 1
+        # supplier demoted, both now shared
+        assert directory.line_holders(LINE) == {0: SHARED_ST, 1: SHARED_ST}
+
+    def test_store_to_remote_modified_is_store_hitm(self, directory):
+        directory.access(0, LINE, 8, True)
+        out = directory.access(1, LINE, 8, True)
+        assert out.hitm
+        assert directory.hitm_store_count == 1
+        assert directory.line_holders(LINE) == {1: MODIFIED}
+
+    def test_clean_sharing_is_not_hitm(self, directory):
+        directory.access(0, LINE, 8, False)
+        out = directory.access(1, LINE, 8, False)
+        assert not out.hitm
+
+    def test_same_line_different_bytes_still_hitm(self, directory):
+        """False sharing: disjoint bytes, same line."""
+        directory.access(0, LINE, 8, True)
+        out = directory.access(1, LINE + 56, 8, False)
+        assert out.hitm
+
+    def test_different_lines_no_hitm(self, directory):
+        directory.access(0, LINE, 8, True)
+        out = directory.access(1, LINE + 64, 8, False)
+        assert not out.hitm
+
+    def test_split_access_touches_both_lines(self, directory):
+        out = directory.access(0, LINE + 60, 8, True)
+        assert out.lines == 2
+        assert directory.line_holders(LINE) == {0: MODIFIED}
+        assert directory.line_holders(LINE + 64) == {0: MODIFIED}
+
+    def test_hitm_costs_dominate_hits(self, directory):
+        costs = CostModel()
+        directory.access(0, LINE, 8, True, now=0)
+        hitm = directory.access(1, LINE, 8, False, now=1).cost
+        quiet = 1 + 10 * costs.contend_window
+        hit = directory.access(1, LINE, 8, False, now=quiet).cost
+        assert hitm >= costs.hitm_load
+        assert hitm / hit > 50
+
+
+class TestFlush:
+    def test_flush_range_invalidates(self, directory):
+        directory.access(0, LINE, 8, True)
+        directory.flush_range(LINE, 64)
+        assert directory.line_holders(LINE) == {}
+
+    def test_flush_covers_partial_lines(self, directory):
+        directory.access(0, LINE, 8, True)
+        directory.access(0, LINE + 64, 8, True)
+        directory.flush_range(LINE + 32, 40)    # straddles both
+        assert directory.line_holders(LINE) == {}
+        assert directory.line_holders(LINE + 64) == {}
+
+
+class TestContention:
+    def test_uncontended_pays_no_penalty(self, directory):
+        costs = CostModel()
+        directory.access(0, LINE, 8, True, now=0)
+        cost = directory.access(0, LINE, 8, True, now=10).cost
+        assert cost == costs.store_hit
+
+    def test_read_only_sharing_pays_no_penalty(self, directory):
+        costs = CostModel()
+        directory.access(0, LINE, 8, False, now=0)
+        directory.access(1, LINE, 8, False, now=10)
+        cost = directory.access(2, LINE, 8, False, now=20).cost
+        assert cost == costs.shared_fill
+
+    def test_conflicting_access_pays_penalty(self, directory):
+        costs = CostModel()
+        directory.access(0, LINE, 8, True, now=0)
+        out = directory.access(1, LINE, 8, False, now=100)
+        assert out.cost >= costs.hitm_load + costs.contend_penalty
+
+    def test_penalty_scales_with_conflicting_cores(self, directory):
+        directory.access(0, LINE, 8, True, now=0)
+        c1 = directory.access(1, LINE, 8, True, now=10).cost
+        directory.access(2, LINE, 8, True, now=20)
+        directory.access(3, LINE, 8, True, now=30)
+        c2 = directory.access(1, LINE, 8, True, now=40).cost
+        assert c2 > c1
+
+    def test_penalty_expires_after_window(self, directory):
+        costs = CostModel()
+        directory.access(0, LINE, 8, True, now=0)
+        directory.access(1, LINE, 8, True, now=10)
+        late = directory.access(1, LINE, 8, True,
+                                now=10 + costs.contend_window + 1).cost
+        assert late == costs.store_hit
+
+    def test_swmr_invariant_always_holds(self, directory):
+        for step in range(200):
+            core = step % 4
+            directory.access(core, LINE + (step % 3) * 64, 8,
+                             step % 2 == 0, now=step * 10)
+        directory.check_swmr()

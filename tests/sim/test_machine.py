@@ -1,0 +1,52 @@
+"""Machine: clocks, access plumbing, HITM listeners."""
+
+from repro.sim.machine import Machine
+
+
+class TestClocks:
+    def test_advance_per_core(self, machine):
+        machine.advance(0, 100)
+        machine.advance(2, 50)
+        assert machine.core_clock[0] == 100
+        assert machine.core_clock[2] == 50
+        assert machine.now == 100
+
+    def test_elapsed_seconds(self, machine):
+        machine.advance(0, int(machine.costs.cycles_per_second))
+        assert machine.elapsed_seconds() == 1.0
+
+
+class TestMemAccess:
+    def test_write_then_read_roundtrip(self, machine):
+        pa = machine.physmem.alloc(4096)
+        machine.mem_access(0, 0, 0, 0x1000, pa, 8, True, value=123)
+        _, value = machine.mem_access(0, 0, 0, 0x1000, pa, 8, False)
+        assert value == 123
+
+    def test_costs_accumulate_coherence(self, machine):
+        pa = machine.physmem.alloc(4096)
+        cost_cold, _ = machine.mem_access(0, 0, 0, 0, pa, 8, False)
+        cost_hit, _ = machine.mem_access(0, 0, 0, 0, pa, 8, False)
+        assert cost_cold > cost_hit
+
+    def test_hitm_listener_fires_and_charges(self, machine):
+        pa = machine.physmem.alloc(4096)
+        seen = []
+        machine.add_hitm_listener(lambda e: seen.append(e) or 99)
+        machine.mem_access(0, 0, 0x400000, 0x1000, pa, 8, True, value=1)
+        cost, _ = machine.mem_access(1, 1, 0x400004, 0x1000, pa, 8,
+                                     False)
+        assert len(seen) == 1
+        event = seen[0]
+        assert event.core == 1 and event.remote_core == 0
+        assert event.pc == 0x400004 and event.va == 0x1000
+        assert not event.is_store
+        assert cost >= machine.costs.hitm_load + 99
+
+    def test_hitm_counter(self, machine):
+        pa = machine.physmem.alloc(4096)
+        machine.mem_access(0, 0, 0, 0, pa, 8, True, value=1)
+        machine.mem_access(1, 1, 0, 0, pa, 8, False)   # load HITM
+        machine.mem_access(2, 2, 0, 0, pa, 8, True, value=2)  # upgrade
+        machine.mem_access(3, 3, 0, 0, pa, 8, True, value=3)  # store HITM
+        assert machine.hitm_events == 2

@@ -1,0 +1,111 @@
+"""Physical memory: allocation, lazy materialization, data integrity."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.physmem import PhysicalMemory
+
+
+class TestAllocation:
+    def test_alloc_returns_nonoverlapping_ranges(self, physmem):
+        a = physmem.alloc(4096)
+        b = physmem.alloc(4096)
+        assert abs(a - b) >= 4096
+
+    def test_alloc_respects_alignment(self, physmem):
+        for align in (4096, 1 << 16, 1 << 21):
+            pa = physmem.alloc(4096, align=align)
+            assert pa % align == 0
+
+    def test_alloc_rounds_to_chunk(self, physmem):
+        before = physmem.reserved_bytes
+        physmem.alloc(100)
+        assert physmem.reserved_bytes - before == 4096
+
+    def test_alloc_zero_raises(self, physmem):
+        with pytest.raises(SimulationError):
+            physmem.alloc(0)
+
+    def test_alloc_bad_alignment_raises(self, physmem):
+        with pytest.raises(SimulationError):
+            physmem.alloc(4096, align=3000)
+
+    def test_free_recycles(self, physmem):
+        a = physmem.alloc(8192)
+        physmem.free(a, 8192)
+        b = physmem.alloc(8192)
+        assert b == a
+
+    def test_freed_range_reads_zero(self, physmem):
+        a = physmem.alloc(4096)
+        physmem.write(a, b"\xff" * 64)
+        physmem.free(a, 4096)
+        b = physmem.alloc(4096)
+        assert physmem.read(b, 64) == b"\x00" * 64
+
+    def test_reserved_accounting(self, physmem):
+        physmem.alloc(4096)
+        physmem.alloc(8192)
+        assert physmem.reserved_bytes == 4096 + 8192
+
+    def test_huge_reservation_is_cheap(self, physmem):
+        physmem.alloc(27 << 30)          # ocean-ncp scale
+        assert physmem.touched_bytes == 0
+
+
+class TestData:
+    def test_untouched_reads_zero(self, physmem):
+        pa = physmem.alloc(4096)
+        assert physmem.read(pa, 16) == b"\x00" * 16
+
+    def test_write_read_roundtrip(self, physmem):
+        pa = physmem.alloc(4096)
+        physmem.write(pa + 100, b"hello world")
+        assert physmem.read(pa + 100, 11) == b"hello world"
+
+    def test_int_roundtrip(self, physmem):
+        pa = physmem.alloc(4096)
+        physmem.write_int(pa, 0xDEADBEEF, 4)
+        assert physmem.read_int(pa, 4) == 0xDEADBEEF
+
+    def test_int_masked_to_width(self, physmem):
+        pa = physmem.alloc(4096)
+        physmem.write_int(pa, 0x1FF, 1)
+        assert physmem.read_int(pa, 1) == 0xFF
+
+    def test_cross_chunk_access(self, physmem):
+        pa = physmem.alloc(8192)
+        physmem.write(pa + 4090, b"0123456789AB")
+        assert physmem.read(pa + 4090, 12) == b"0123456789AB"
+
+    def test_cross_chunk_int(self, physmem):
+        pa = physmem.alloc(8192)
+        physmem.write_int(pa + 4093, 0x1122334455667788, 8)
+        assert physmem.read_int(pa + 4093, 8) == 0x1122334455667788
+
+    def test_copy_page(self, physmem):
+        src = physmem.alloc(4096)
+        dst = physmem.alloc(4096)
+        physmem.write(src + 7, b"payload")
+        physmem.copy_page(src, dst, 4096)
+        assert physmem.read(dst + 7, 7) == b"payload"
+
+    def test_copy_page_unmaterialized_source_clears_dest(self, physmem):
+        src = physmem.alloc(4096)
+        dst = physmem.alloc(4096)
+        physmem.write(dst, b"x")
+        physmem.copy_page(src, dst, 4096)
+        assert physmem.read(dst, 1) == b"\x00"
+
+    def test_snapshot_is_immutable_copy(self, physmem):
+        pa = physmem.alloc(4096)
+        physmem.write(pa, b"aaa")
+        snap = physmem.snapshot(pa, 3)
+        physmem.write(pa, b"bbb")
+        assert snap == b"aaa"
+
+    def test_touched_bytes_counts_materialized(self, physmem):
+        pa = physmem.alloc(1 << 20)
+        assert physmem.touched_bytes == 0
+        physmem.write(pa, b"x")
+        assert physmem.touched_bytes == 4096

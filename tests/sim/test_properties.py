@@ -1,0 +1,115 @@
+"""Property-based tests on the simulator's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import CoherenceDirectory, MODIFIED
+from repro.sim.costs import CostModel
+from repro.sim.physmem import PhysicalMemory
+
+# ----------------------------------------------------------------------
+# physical memory
+# ----------------------------------------------------------------------
+
+writes = st.lists(
+    st.tuples(st.integers(0, 16 * 4096 - 64),
+              st.binary(min_size=1, max_size=64)),
+    min_size=1, max_size=40)
+
+
+@given(writes)
+@settings(max_examples=60, deadline=None)
+def test_physmem_last_write_wins(write_list):
+    """Reading any byte returns the last value written to it."""
+    mem = PhysicalMemory()
+    base = mem.alloc(16 * 4096)
+    model = {}
+    for offset, data in write_list:
+        mem.write(base + offset, data)
+        for i, b in enumerate(data):
+            model[offset + i] = b
+    for offset, expected in model.items():
+        assert mem.read(base + offset, 1)[0] == expected
+
+
+@given(st.lists(st.integers(1, 1 << 16), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_physmem_allocations_never_overlap(sizes):
+    mem = PhysicalMemory()
+    spans = []
+    for size in sizes:
+        base = mem.alloc(size)
+        end = base + size
+        for other_base, other_end in spans:
+            assert end <= other_base or other_end <= base
+        spans.append((base, end))
+
+
+@given(st.integers(1, 8), st.binary(min_size=8, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_physmem_int_roundtrip_any_width(width, raw):
+    mem = PhysicalMemory()
+    base = mem.alloc(4096)
+    value = int.from_bytes(raw[:width], "little")
+    mem.write_int(base + 7, value, width)        # deliberately unaligned
+    assert mem.read_int(base + 7, width) == value
+
+
+# ----------------------------------------------------------------------
+# coherence: SWMR under arbitrary access sequences
+# ----------------------------------------------------------------------
+
+accesses = st.lists(
+    st.tuples(st.integers(0, 3),              # core
+              st.integers(0, 7),              # line index
+              st.booleans()),                 # is_write
+    min_size=1, max_size=200)
+
+
+@given(accesses)
+@settings(max_examples=80, deadline=None)
+def test_coherence_swmr_invariant(sequence):
+    """No interleaving of accesses violates single-writer
+    multiple-reader."""
+    directory = CoherenceDirectory(CostModel(), n_cores=4)
+    now = 0
+    for core, line_index, is_write in sequence:
+        directory.access(core, 0x1000 + line_index * 64, 8, is_write,
+                         now=now)
+        now += 10
+    directory.check_swmr()
+
+
+@given(accesses)
+@settings(max_examples=60, deadline=None)
+def test_coherence_hitm_requires_prior_remote_write(sequence):
+    """A HITM can only happen if some other core wrote the line since
+    the last invalidation — tracked against a reference model."""
+    directory = CoherenceDirectory(CostModel(), n_cores=4)
+    dirty_by = {}                 # line -> core holding it modified
+    now = 0
+    for core, line_index, is_write in sequence:
+        line = 0x1000 + line_index * 64
+        out = directory.access(core, line, 8, is_write, now=now)
+        now += 10
+        if out.hitm:
+            assert dirty_by.get(line) is not None
+            assert dirty_by[line] != core
+        if is_write:
+            dirty_by[line] = core
+        elif out.hitm:
+            dirty_by[line] = None    # supplier demoted to Shared
+    directory.check_swmr()
+
+
+@given(accesses)
+@settings(max_examples=60, deadline=None)
+def test_coherence_single_modified_holder(sequence):
+    directory = CoherenceDirectory(CostModel(), n_cores=4)
+    for step, (core, line_index, is_write) in enumerate(sequence):
+        directory.access(core, 0x1000 + line_index * 64, 8, is_write,
+                         now=step * 10)
+        holders = directory.line_holders(0x1000 + line_index * 64)
+        modified = [c for c, s in holders.items() if s == MODIFIED]
+        assert len(modified) <= 1
+        if modified:
+            assert len(holders) == 1

@@ -1,0 +1,130 @@
+"""Condition variables: wait/signal/broadcast semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+
+from helpers import run_program
+
+
+class TestCondvar:
+    def test_signal_wakes_one_waiter(self):
+        events = []
+
+        def main(t):
+            m = yield from t.mutex()
+            cv = yield from t.condvar()
+            buf = yield from t.malloc(64)
+
+            def consumer(w):
+                yield from w.lock(m)
+                while True:
+                    value = yield from w.load(buf, 8)
+                    if value:
+                        break
+                    yield from w.cond_wait(cv, m)
+                events.append(("consumed", value))
+                yield from w.store(buf, 0, 8)
+                yield from w.unlock(m)
+
+            def producer(w):
+                yield from w.compute(30_000)
+                yield from w.lock(m)
+                yield from w.store(buf, 42, 8)
+                events.append(("produced", 42))
+                yield from w.cond_signal(cv)
+                yield from w.unlock(m)
+
+            c = yield from t.spawn(consumer)
+            p = yield from t.spawn(producer)
+            yield from t.join(c)
+            yield from t.join(p)
+
+        run_program(main, nthreads=2)
+        assert events == [("produced", 42), ("consumed", 42)]
+
+    def test_broadcast_wakes_all(self):
+        woken = []
+
+        def main(t):
+            m = yield from t.mutex()
+            cv = yield from t.condvar()
+            flag = yield from t.malloc(64)
+
+            def waiter(w):
+                yield from w.lock(m)
+                while True:
+                    value = yield from w.load(flag, 8)
+                    if value:
+                        break
+                    yield from w.cond_wait(cv, m)
+                woken.append(w.tid)
+                yield from w.unlock(m)
+
+            def broadcaster(w):
+                yield from w.compute(60_000)
+                yield from w.lock(m)
+                yield from w.store(flag, 1, 8)
+                yield from w.cond_broadcast(cv)
+                yield from w.unlock(m)
+
+            tids = []
+            for _ in range(3):
+                tid = yield from t.spawn(waiter)
+                tids.append(tid)
+            b = yield from t.spawn(broadcaster)
+            for tid in tids + [b]:
+                yield from t.join(tid)
+
+        run_program(main, nthreads=4)
+        assert len(woken) == 3
+
+    def test_waiter_reacquires_mutex(self):
+        """The woken waiter holds the mutex when cond_wait returns."""
+        def main(t):
+            m = yield from t.mutex()
+            cv = yield from t.condvar()
+            buf = yield from t.malloc(64)
+
+            def waiter(w):
+                yield from w.lock(m)
+                yield from w.cond_wait(cv, m)
+                assert m.owner_tid == w.tid
+                value = yield from w.load(buf, 8)
+                yield from w.store(buf, value + 1, 8)
+                yield from w.unlock(m)
+
+            def signaller(w):
+                yield from w.compute(30_000)
+                yield from w.lock(m)
+                value = yield from w.load(buf, 8)
+                yield from w.store(buf, value + 1, 8)
+                yield from w.cond_signal(cv)
+                yield from w.unlock(m)
+
+            a = yield from t.spawn(waiter)
+            b = yield from t.spawn(signaller)
+            yield from t.join(a)
+            yield from t.join(b)
+            total = yield from t.load(buf, 8)
+            assert total == 2
+
+        run_program(main, nthreads=2)
+
+    def test_wait_without_mutex_raises(self):
+        def main(t):
+            m = yield from t.mutex()
+            cv = yield from t.condvar()
+            yield from t.cond_wait(cv, m)
+
+        with pytest.raises(SimulationError):
+            run_program(main, nthreads=1)
+
+    def test_signal_with_no_waiters_is_noop(self):
+        def main(t):
+            cv = yield from t.condvar()
+            yield from t.cond_signal(cv)
+            yield from t.cond_broadcast(cv)
+
+        result, _ = run_program(main, nthreads=1)
+        assert result.cycles > 0

@@ -1,0 +1,43 @@
+"""Sync object state: shadow redirection, sizes, hot addresses."""
+
+from repro.sync.objects import Barrier, Condvar, Mutex
+
+
+class TestMutex:
+    def test_hot_addr_defaults_to_app_memory(self):
+        mutex = Mutex(mid=1, addr=0x1000)
+        assert mutex.hot_addr == 0x1000
+
+    def test_shadow_redirects_hot_addr(self):
+        """TMI's pshared redirection: traffic moves to the shadow."""
+        mutex = Mutex(mid=1, addr=0x1000)
+        mutex.shadow_addr = 0x2000_0040
+        assert mutex.hot_addr == 0x2000_0040
+        assert mutex.addr == 0x1000          # app object untouched
+
+    def test_pthread_mutex_size(self):
+        assert Mutex.SIZE == 40              # x86-64 glibc
+
+    def test_identity_equality(self):
+        a = Mutex(mid=1, addr=0x1000)
+        b = Mutex(mid=1, addr=0x1000)
+        assert a != b                        # eq=False: object identity
+
+
+class TestBarrier:
+    def test_fresh_barrier_state(self):
+        barrier = Barrier(bid=1, addr=0x1000, parties=4)
+        assert barrier.arrived == []
+        assert barrier.generation == 0
+
+    def test_shadow_redirect(self):
+        barrier = Barrier(bid=1, addr=0x1000, parties=2)
+        barrier.shadow_addr = 0x2000_0000
+        assert barrier.hot_addr == 0x2000_0000
+
+
+class TestCondvar:
+    def test_fresh_condvar_state(self):
+        condvar = Condvar(cid=1, addr=0x1000)
+        assert condvar.waiters == []
+        assert condvar.hot_addr == 0x1000

@@ -1,0 +1,86 @@
+"""Workload suite sanity: every kernel runs, validates, and exposes
+the traits the evaluation depends on."""
+
+import pytest
+
+from repro.baselines import PthreadsRuntime
+from repro.engine import Engine
+from repro.workloads import figure7_names, get, repair_suite_names
+
+SCALE = 0.08
+
+
+class TestRegistry:
+    def test_thirty_five_figure7_workloads(self):
+        assert len(figure7_names()) == 35
+
+    def test_repair_suite_is_the_papers_nine(self):
+        assert repair_suite_names() == [
+            "histogram", "histogramfs", "lreg", "stringmatch", "lu-ncb",
+            "leveldb-fs", "spinlockpool", "shptr-relaxed", "shptr-lock"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get("doom")
+
+    def test_leveldb_fs_is_injected_variant(self):
+        workload = get("leveldb-fs")
+        assert workload.inject_bug
+        assert workload.build().features.has_false_sharing
+
+
+@pytest.mark.parametrize("name", figure7_names())
+def test_workload_runs_and_validates(name):
+    workload = get(name, scale=SCALE)
+    result = Engine(workload.build(), PthreadsRuntime()).run()
+    assert result.validated, (name, result.error)
+    assert result.cycles > 0
+    assert result.data_ops > 0
+
+
+@pytest.mark.parametrize("name", repair_suite_names())
+def test_fs_workloads_fix_reduces_contention(name):
+    """The manual (FIXED) variant must genuinely remove the sharing:
+    fewer HITM events and no slower than the buggy layout."""
+    scale = 0.3
+    buggy = Engine(get(name, scale=scale).build("default"),
+                   PthreadsRuntime()).run()
+    fixed = Engine(get(name, scale=scale).build("fixed"),
+                   PthreadsRuntime()).run()
+    assert fixed.cycles < buggy.cycles, name
+    assert fixed.hitm_total < buggy.hitm_total, name
+
+
+class TestFeatureDeclarations:
+    def test_asm_users(self):
+        for name in ("canneal", "dedup", "leveldb"):
+            assert get(name).build().features.uses_asm, name
+
+    def test_atomics_users(self):
+        for name in ("canneal", "leveldb", "shptr-relaxed"):
+            assert get(name).build().features.uses_atomics, name
+
+    def test_volatile_flags(self):
+        assert get("cholesky").build().features.uses_volatile_flags
+
+    def test_native_footprints_scale_like_the_paper(self):
+        GB = 1 << 30
+        assert get("ocean-ncp").build().features.footprint_bytes \
+            >= 20 * GB
+        assert get("swaptions").build().features.footprint_bytes \
+            < 100 * (1 << 20)
+
+    def test_true_sharing_workloads(self):
+        for name in ("kmeans", "leveldb", "streamcluster"):
+            assert get(name).build().features.has_true_sharing, name
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["histogram", "canneal", "leveldb"])
+    def test_repeat_runs_identical(self, name):
+        a = Engine(get(name, scale=SCALE).build(),
+                   PthreadsRuntime()).run()
+        b = Engine(get(name, scale=SCALE).build(),
+                   PthreadsRuntime()).run()
+        assert a.cycles == b.cycles
+        assert a.hitm_total == b.hitm_total
