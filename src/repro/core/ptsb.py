@@ -103,6 +103,9 @@ class PageTwinningStoreBuffer:
             total += costs.commit_page_fixed
             pages += 1
         self._twins.clear()
+        if pages:
+            # the re-arm dropped private frames behind translate's back
+            self.process.aspace.invalidate_translations()
         self.committed_pages += pages
         self.merged_bytes += merged
         if self.on_commit is not None:

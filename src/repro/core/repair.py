@@ -120,4 +120,5 @@ class RepairManager:
                 mapping.mode = PRIVATE
                 for state in mapping.pages.values():
                     state.mode = PRIVATE
+            process.aspace.invalidate_translations()
         self.stats.protected_pages = -1        # sentinel: everything

@@ -144,6 +144,9 @@ class TmiRuntime(RuntimeHooks):
         if thread.process.ptsb is not None and \
                 self.policy.access_bypasses_ptsb(thread, op):
             return Translation(pa=aspace.shared_pa(va), cost=0)
+        pa = aspace.fast_pa(va, width)
+        if pa is not None:
+            return Translation(pa=pa, cost=0)
         return aspace.translate(va, width, is_write)
 
     # ------------------------------------------------------------------

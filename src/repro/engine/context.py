@@ -21,6 +21,17 @@ class ThreadCtx:
         self._engine = engine
         self._thread = thread
         self._binary = binary
+        # per-context memo of binary.auto_site (one dict probe instead of
+        # a method call + registry probe on every anonymous access)
+        self._auto_sites = {}
+
+    def _auto_site(self, kind, width):
+        key = (kind, width)
+        site = self._auto_sites.get(key)
+        if site is None:
+            site = self._binary.auto_site(kind, width)
+            self._auto_sites[key] = site
+        return site
 
     # ------------------------------------------------------------------
     @property
@@ -39,24 +50,48 @@ class ThreadCtx:
     # plain data accesses
     # ------------------------------------------------------------------
     def load(self, addr, width=8, site=None, volatile=False):
-        site = site or self._binary.auto_site("load", width)
+        site = site or self._auto_site("load", width)
         value = yield O.Load(site, addr, width, volatile)
         return value
 
     def store(self, addr, value, width=8, site=None, volatile=False):
-        site = site or self._binary.auto_site("store", width)
+        site = site or self._auto_site("store", width)
         yield O.Store(site, addr, value, width, volatile)
+
+    def load_run(self, addr, count, stride, width=8, site=None,
+                 volatile=False):
+        """``count`` loads at ``addr, addr+stride, ...`` in one op.
+
+        Returns the list of loaded values.  Cycle-for-cycle identical to
+        a ``load`` loop over the same addresses — use it for pure stride
+        loops with no per-iteration side effects between accesses.
+        """
+        if count <= 0:
+            return []
+        site = site or self._auto_site("load", width)
+        values = yield O.AccessRun(site, addr, count, stride, width,
+                                   False, 0, volatile)
+        return values
+
+    def store_run(self, addr, value, count, stride, width=8, site=None,
+                  volatile=False):
+        """``count`` stores of ``value`` at ``addr, addr+stride, ...``."""
+        if count <= 0:
+            return
+        site = site or self._auto_site("store", width)
+        yield O.AccessRun(site, addr, count, stride, width, True,
+                          value, volatile)
 
     def compute(self, cycles):
         yield O.Compute(cycles)
 
     def bulk_touch(self, addr, nbytes, is_write=False, site=None):
-        site = site or self._binary.auto_site(
+        site = site or self._auto_site(
             "store" if is_write else "load", 8)
         yield O.BulkTouch(site, addr, nbytes, is_write)
 
     def fence(self, site=None):
-        yield O.Fence(site or self._binary.auto_site("other", 0))
+        yield O.Fence(site or self._auto_site("other", 0))
 
     # ------------------------------------------------------------------
     # C/C++ atomics (bracketed with consistency callbacks)
@@ -64,7 +99,7 @@ class ThreadCtx:
     def atomic_add(self, addr, delta, width=8, ordering=O.SEQ_CST,
                    site=None):
         """fetch_add; returns the old value."""
-        site = site or self._binary.auto_site("atomic", width)
+        site = site or self._auto_site("atomic", width)
         yield O.RegionBegin(O.REGION_ATOMIC, ordering)
         old = yield O.AtomicRMW(site, addr, "add", delta, width, ordering)
         yield O.RegionEnd(O.REGION_ATOMIC)
@@ -72,7 +107,7 @@ class ThreadCtx:
 
     def atomic_xchg(self, addr, value, width=8, ordering=O.SEQ_CST,
                     site=None):
-        site = site or self._binary.auto_site("atomic", width)
+        site = site or self._auto_site("atomic", width)
         yield O.RegionBegin(O.REGION_ATOMIC, ordering)
         old = yield O.AtomicRMW(site, addr, "xchg", value, width, ordering)
         yield O.RegionEnd(O.REGION_ATOMIC)
@@ -81,7 +116,7 @@ class ThreadCtx:
     def atomic_cas(self, addr, expected, new, width=8, ordering=O.SEQ_CST,
                    site=None):
         """compare_exchange; returns the observed old value."""
-        site = site or self._binary.auto_site("atomic", width)
+        site = site or self._auto_site("atomic", width)
         yield O.RegionBegin(O.REGION_ATOMIC, ordering)
         old = yield O.AtomicRMW(site, addr, "cas", new, width, ordering,
                                 expected=expected)
@@ -89,7 +124,7 @@ class ThreadCtx:
         return old
 
     def atomic_load(self, addr, width=8, ordering=O.SEQ_CST, site=None):
-        site = site or self._binary.auto_site("atomic", width)
+        site = site or self._auto_site("atomic", width)
         yield O.RegionBegin(O.REGION_ATOMIC, ordering)
         value = yield O.AtomicLoad(site, addr, width, ordering)
         yield O.RegionEnd(O.REGION_ATOMIC)
@@ -97,7 +132,7 @@ class ThreadCtx:
 
     def atomic_store(self, addr, value, width=8, ordering=O.SEQ_CST,
                      site=None):
-        site = site or self._binary.auto_site("atomic", width)
+        site = site or self._auto_site("atomic", width)
         yield O.RegionBegin(O.REGION_ATOMIC, ordering)
         yield O.AtomicStore(site, addr, value, width, ordering)
         yield O.RegionEnd(O.REGION_ATOMIC)

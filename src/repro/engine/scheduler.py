@@ -16,6 +16,7 @@ import heapq
 
 from repro.engine import layout
 from repro.engine.context import ThreadCtx
+from repro.engine.hooks import RuntimeHooks
 from repro.engine.program import RunResult
 from repro.engine.thread import (BLOCKED, DONE, PARKED, READY, SimProcess,
                                  SimThread)
@@ -48,6 +49,7 @@ class Engine:
         self._next_tick = runtime.tick_cycles or None
         self._mutex_ids = 0
         self._barrier_ids = 0
+        self._condvar_ids = 0
         self.sync_objects = []
         #: Service core for the monitor/detector (last core).
         self.service_core = self.machine.n_cores - 1
@@ -57,6 +59,45 @@ class Engine:
         self._lock_site = program.binary.site("atomic", 4, "pthread_lock")
         self._barrier_site = program.binary.site("atomic", 4,
                                                  "pthread_barrier")
+
+        # Hook-override flags: the pthreads baseline leaves every access
+        # hook at its no-op default, so the hot path can skip the calls
+        # entirely instead of paying a Python frame per no-op.
+        rt_cls = type(runtime)
+        self._rt_override = (
+            getattr(rt_cls, "exec_access_override", None)
+            is not RuntimeHooks.exec_access_override)
+        self._rt_translate = (getattr(rt_cls, "translate", None)
+                              is not RuntimeHooks.translate)
+        self._rt_extra = (getattr(rt_cls, "access_extra_cost", None)
+                          is not RuntimeHooks.access_extra_cost)
+
+        # Type-keyed dispatch: one dict probe on the op's exact class
+        # instead of walking an isinstance chain per op.  Op classes are
+        # final (frozen, slotted dataclasses), so exact-class keying is
+        # sound.
+        self._exec_table = {
+            O.Compute: self._exec_compute,
+            O.Load: self._exec_load,
+            O.Store: self._exec_store,
+            O.AccessRun: self._exec_run_op,
+            O.AtomicLoad: self._exec_access,
+            O.AtomicStore: self._exec_access,
+            O.AtomicRMW: self._exec_access,
+            O.BulkTouch: self._exec_bulk,
+            O.RegionBegin: self._exec_region_begin,
+            O.RegionEnd: self._exec_region_end,
+            O.Fence: self._exec_fence,
+            O.MutexLock: self._exec_lock_op,
+            O.MutexUnlock: self._exec_unlock_op,
+            O.BarrierWait: self._exec_barrier_op,
+            O.CondWait: self._exec_cond_wait_op,
+            O.CondSignal: self._exec_cond_signal_op,
+            O.Malloc: self._exec_malloc,
+            O.FreeOp: self._exec_free,
+            O.ThreadCreate: self._exec_thread_create,
+            O.ThreadJoin: self._exec_thread_join,
+        }
 
         runtime.check_workload(program)
         runtime.setup(self)            # sets root_aspace, allocator
@@ -133,6 +174,10 @@ class Engine:
         old.threads.remove(thread)
         thread.process = proc
         proc.threads.append(thread)
+        # the converted thread's accesses now translate to new physical
+        # frames as pages go COW; drop the owner micro-cache rather than
+        # reasoning about which entries the re-homing can strand
+        self.machine.directory.invalidate_fast_path()
         return proc
 
     def request_stop_world(self, callback):
@@ -165,8 +210,8 @@ class Engine:
         return barrier
 
     def register_condvar(self, thread, addr, name=""):
-        self._barrier_ids += 1
-        condvar = Condvar(cid=self._barrier_ids, addr=addr, name=name)
+        self._condvar_ids += 1
+        condvar = Condvar(cid=self._condvar_ids, addr=addr, name=name)
         self.sync_objects.append(condvar)
         extra = self.runtime.on_sync_object_init(self, thread, condvar) or 0
         self.machine.advance(thread.core, extra)
@@ -210,6 +255,11 @@ class Engine:
         clock += thread.pending_penalty
         thread.pending_penalty = 0
         self.machine.core_clock[thread.core] = clock
+        if thread.run_op is not None:
+            # resume an in-flight AccessRun without re-entering the
+            # generator
+            self._run_accesses(thread)
+            return
         try:
             op = thread.gen.send(thread.pending_value)
         except StopIteration:
@@ -217,7 +267,10 @@ class Engine:
             return
         thread.pending_value = None
         thread.ops += 1
-        cost, value, blocked = self._exec(thread, op)
+        handler = self._exec_table.get(op.__class__)
+        if handler is None:
+            raise SimulationError(f"unknown op {op!r}")
+        cost, value, blocked = handler(thread, op)
         if blocked:
             return
         self.machine.advance(thread.core, cost)
@@ -252,77 +305,133 @@ class Engine:
     # ------------------------------------------------------------------
     def _exec(self, thread, op):
         """Execute one op; returns (cost, value_to_send, blocked)."""
-        if isinstance(op, O.Compute):
-            return op.cycles, None, False
-        if isinstance(op, (O.Load, O.Store, O.AtomicLoad, O.AtomicStore,
-                           O.AtomicRMW)):
-            return self._exec_access(thread, op)
-        if isinstance(op, O.BulkTouch):
-            return self._exec_bulk(thread, op)
-        if isinstance(op, O.RegionBegin):
-            thread.region_stack.append((op.kind, op.ordering))
-            cost = self.runtime.on_region_begin(self, thread, op.kind,
-                                                op.ordering)
-            return cost, None, False
-        if isinstance(op, O.RegionEnd):
-            if not thread.region_stack or \
-                    thread.region_stack[-1][0] != op.kind:
-                raise SimulationError(
-                    f"unbalanced region end {op.kind} in {thread}")
-            thread.region_stack.pop()
-            cost = self.runtime.on_region_end(self, thread, op.kind)
-            return cost, None, False
-        if isinstance(op, O.Fence):
-            return self.costs.fence, None, False
-        if isinstance(op, O.MutexLock):
-            return self._exec_lock(thread, op.mutex)
-        if isinstance(op, O.MutexUnlock):
-            return self._exec_unlock(thread, op.mutex)
-        if isinstance(op, O.BarrierWait):
-            return self._exec_barrier(thread, op.barrier)
-        if isinstance(op, O.CondWait):
-            return self._exec_cond_wait(thread, op.condvar, op.mutex)
-        if isinstance(op, O.CondSignal):
-            return self._exec_cond_signal(thread, op.condvar,
-                                          op.broadcast)
-        if isinstance(op, O.Malloc):
-            addr, cost = self.runtime.malloc(self, thread, op.size, op.align)
-            return cost, addr, False
-        if isinstance(op, O.FreeOp):
-            cost = self.runtime.free(self, thread, op.addr)
-            return cost, None, False
-        if isinstance(op, O.ThreadCreate):
-            child = self._create_thread(op.body, op.name, thread.process)
-            self.runtime.on_thread_created(self, child)
-            cost = 16_000                      # pthread_create
-            start = self.machine.core_clock[thread.core] + cost
-            self._schedule(child, start)
-            return cost, child.tid, False
-        if isinstance(op, O.ThreadJoin):
-            target = self.threads[op.tid]
-            if target.state == DONE:
-                extra = self.runtime.on_sync_acquired(self, thread, None,
-                                                      "join")
-                return 2_000 + extra, None, False
-            target.joiners.append(thread.tid)
-            thread.state = BLOCKED
-            thread.blocked_on = ("join", op.tid)
-            return 0, None, True
-        raise SimulationError(f"unknown op {op!r}")
+        handler = self._exec_table.get(op.__class__)
+        if handler is None:
+            raise SimulationError(f"unknown op {op!r}")
+        return handler(thread, op)
+
+    def _exec_compute(self, thread, op):
+        return op.cycles, None, False
+
+    def _exec_region_begin(self, thread, op):
+        thread.region_stack.append((op.kind, op.ordering))
+        cost = self.runtime.on_region_begin(self, thread, op.kind,
+                                            op.ordering)
+        return cost, None, False
+
+    def _exec_region_end(self, thread, op):
+        if not thread.region_stack or \
+                thread.region_stack[-1][0] != op.kind:
+            raise SimulationError(
+                f"unbalanced region end {op.kind} in {thread}")
+        thread.region_stack.pop()
+        cost = self.runtime.on_region_end(self, thread, op.kind)
+        return cost, None, False
+
+    def _exec_fence(self, thread, op):
+        return self.costs.fence, None, False
+
+    def _exec_lock_op(self, thread, op):
+        return self._exec_lock(thread, op.mutex)
+
+    def _exec_unlock_op(self, thread, op):
+        return self._exec_unlock(thread, op.mutex)
+
+    def _exec_barrier_op(self, thread, op):
+        return self._exec_barrier(thread, op.barrier)
+
+    def _exec_cond_wait_op(self, thread, op):
+        return self._exec_cond_wait(thread, op.condvar, op.mutex)
+
+    def _exec_cond_signal_op(self, thread, op):
+        return self._exec_cond_signal(thread, op.condvar, op.broadcast)
+
+    def _exec_malloc(self, thread, op):
+        addr, cost = self.runtime.malloc(self, thread, op.size, op.align)
+        return cost, addr, False
+
+    def _exec_free(self, thread, op):
+        cost = self.runtime.free(self, thread, op.addr)
+        return cost, None, False
+
+    def _exec_thread_create(self, thread, op):
+        child = self._create_thread(op.body, op.name, thread.process)
+        self.runtime.on_thread_created(self, child)
+        cost = 16_000                      # pthread_create
+        start = self.machine.core_clock[thread.core] + cost
+        self._schedule(child, start)
+        return cost, child.tid, False
+
+    def _exec_thread_join(self, thread, op):
+        target = self.threads[op.tid]
+        if target.state == DONE:
+            extra = self.runtime.on_sync_acquired(self, thread, None,
+                                                  "join")
+            return 2_000 + extra, None, False
+        target.joiners.append(thread.tid)
+        thread.state = BLOCKED
+        thread.blocked_on = ("join", op.tid)
+        return 0, None, True
+
+    # ------------------------------------------------------------------
+    # data accesses
+    # ------------------------------------------------------------------
+    def _translate_pa(self, thread, op, va, width, is_write):
+        """(pa, cost) for one access, taking every fast lane the active
+        runtime's hook overrides allow."""
+        if self._rt_translate:
+            translation = self.runtime.translate(self, thread, op, va,
+                                                 width, is_write)
+            return translation.pa, translation.cost
+        aspace = thread.process.aspace
+        pa = aspace.fast_pa(va, width)
+        if pa is not None:
+            return pa, 0
+        translation = aspace.translate(va, width, is_write)
+        return translation.pa, translation.cost
+
+    def _exec_load(self, thread, op):
+        if self._rt_override:
+            override = self.runtime.exec_access_override(self, thread, op)
+            if override is not None:
+                return override[0], override[1], False
+        pa, cost = self._translate_pa(thread, op, op.addr, op.width, False)
+        if self._rt_extra:
+            cost += self.runtime.access_extra_cost(self, thread, op)
+        thread.loads += 1
+        traffic, value = self.machine.mem_access(
+            thread.core, thread.tid, op.site.pc, op.addr, pa,
+            op.width, False)
+        return cost + traffic, value, False
+
+    def _exec_store(self, thread, op):
+        if self._rt_override:
+            override = self.runtime.exec_access_override(self, thread, op)
+            if override is not None:
+                return override[0], override[1], False
+        pa, cost = self._translate_pa(thread, op, op.addr, op.width, True)
+        if self._rt_extra:
+            cost += self.runtime.access_extra_cost(self, thread, op)
+        thread.stores += 1
+        traffic, _ = self.machine.mem_access(
+            thread.core, thread.tid, op.site.pc, op.addr, pa,
+            op.width, True, op.value)
+        return cost + traffic, None, False
 
     def _exec_access(self, thread, op):
-        override = self.runtime.exec_access_override(self, thread, op)
-        if override is not None:
-            cost, value = override
-            return cost, value, False
+        """Atomic accesses (and the pre-fast-path generic fallback)."""
+        if self._rt_override:
+            override = self.runtime.exec_access_override(self, thread, op)
+            if override is not None:
+                cost, value = override
+                return cost, value, False
 
         machine = self.machine
         is_write = isinstance(op, (O.Store, O.AtomicStore, O.AtomicRMW))
-        translation = self.runtime.translate(self, thread, op, op.addr,
-                                             op.width, is_write)
-        cost = translation.cost
-        cost += self.runtime.access_extra_cost(self, thread, op)
-        pa = translation.pa
+        pa, cost = self._translate_pa(thread, op, op.addr, op.width,
+                                      is_write)
+        if self._rt_extra:
+            cost += self.runtime.access_extra_cost(self, thread, op)
         value = None
 
         if isinstance(op, O.AtomicRMW):
@@ -362,6 +471,162 @@ class Engine:
                 op.width, False)
             cost += traffic
         return cost, value, False
+
+    # ------------------------------------------------------------------
+    # batched access runs
+    # ------------------------------------------------------------------
+    def _exec_run_op(self, thread, op):
+        """Begin an :class:`~repro.isa.ops.AccessRun`.
+
+        The run executes access-by-access, advancing the owning core's
+        clock exactly as an unbatched loop would, and yields back to the
+        scheduler at precisely the points where the serial engine would
+        have context-switched: another runnable thread's ready time
+        reaching this core's clock, a pending stop-the-world, a due
+        runtime tick, or the cycle budget.  The continuation lives on
+        the thread (``run_op``/``run_index``/``run_values``), so resuming
+        does not touch the workload generator.
+        """
+        thread.run_op = op
+        thread.run_index = 0
+        thread.run_values = None if op.is_write else []
+        self._run_accesses(thread)
+        return 0, None, True
+
+    def _run_accesses(self, thread):
+        op = thread.run_op
+        machine = self.machine
+        core = thread.core
+        core_clock = machine.core_clock
+        heap = self._heap
+        threads = self.threads
+        runtime = self.runtime
+        count = op.count
+        stride = op.stride
+        width = op.width
+        is_write = op.is_write
+        value = op.value
+        pc = op.site.pc
+        values = thread.run_values
+        tid = thread.tid
+        max_cycles = self.max_cycles
+        next_tick = self._next_tick
+        rt_translate = self._rt_translate
+        rt_extra = self._rt_extra
+        # LASER-style full interception needs the per-access op stream;
+        # synthesize singles and take the unbatched path
+        single_cls = (O.Store if is_write else O.Load) \
+            if self._rt_override else None
+        aspace = thread.process.aspace
+        mem_access = machine.mem_access
+        # bound objects, not snapshots: _tcache/_fast are mutated in
+        # place (cleared, never reassigned) so the bindings stay live
+        tcache = aspace._tcache
+        dir_access = machine.directory.access
+        write_int = machine.physmem.write_int
+        read_int = machine.physmem.read_int
+        # with no HITM listeners (plain pthreads), mem_access degenerates
+        # to directory + physmem; drive those directly
+        plain = not machine._hitm_listeners
+        # only this core's clock moves while the run executes, so the
+        # other cores' contribution to machine.now is a constant
+        others_max = 0
+        for c in range(len(core_clock)):
+            if c != core and core_clock[c] > others_max:
+                others_max = core_clock[c]
+        index = thread.run_index
+        start_index = index
+        addr = op.addr + index * stride
+        clock = core_clock[core]
+        # nothing is pushed to or popped from the ready heap while the
+        # run executes (the engine only re-schedules when it ends), so
+        # the earliest other ready time is a constant: drop stale heap
+        # entries once and peek once, exactly as the main loop would
+        # have before each op
+        while heap:
+            ready_time, seq, next_tid = heap[0]
+            waiter = threads[next_tid]
+            if waiter.state == READY and waiter.seq == seq:
+                break
+            heapq.heappop(heap)
+        head_ready = heap[0][0] if heap else None
+        while True:
+            if single_cls is not None:
+                if is_write:
+                    single = O.Store(op.site, addr, value, width,
+                                     op.volatile)
+                    cost, _v, _b = self._exec_store(thread, single)
+                else:
+                    single = O.Load(op.site, addr, width, op.volatile)
+                    cost, loaded, _b = self._exec_load(thread, single)
+                    values.append(loaded)
+            else:
+                if rt_translate:
+                    translation = runtime.translate(
+                        self, thread, op, addr, width, is_write)
+                    pa = translation.pa
+                    cost = translation.cost
+                else:
+                    entry = tcache.get(addr >> 12)
+                    if entry is not None and addr + width <= entry[1]:
+                        pa = addr + entry[0]
+                        cost = 0
+                    else:
+                        translation = aspace.translate(addr, width,
+                                                       is_write)
+                        pa = translation.pa
+                        cost = translation.cost
+                if rt_extra:
+                    cost += runtime.access_extra_cost(self, thread, op)
+                if plain:
+                    outcome = dir_access(core, pa, width, is_write,
+                                         clock)
+                    cost += outcome.cost
+                    if outcome.hitm_remotes:
+                        machine.hitm_events += len(outcome.hitm_remotes)
+                    if is_write:
+                        write_int(pa, value, width)
+                    else:
+                        values.append(read_int(pa, width))
+                elif is_write:
+                    traffic, _ = mem_access(core, tid, pc, addr, pa,
+                                            width, True, value)
+                    cost += traffic
+                else:
+                    traffic, loaded = mem_access(core, tid, pc, addr, pa,
+                                                 width, False)
+                    cost += traffic
+                    values.append(loaded)
+            index += 1
+            addr += stride
+            clock += cost
+            core_clock[core] = clock
+            thread.cycles += cost
+            if index >= count:
+                break
+            # --- would the serial engine have switched away here? ---
+            if self._stop_world:
+                break
+            now = clock if clock > others_max else others_max
+            if next_tick is not None and now >= next_tick:
+                break
+            if now > max_cycles:
+                break
+            if head_ready is not None and head_ready <= clock:
+                break
+        thread.run_index = index
+        if single_cls is None:
+            # _exec_load/_exec_store count for the synthesized-singles
+            # path; the inline path counts the whole batch here
+            if is_write:
+                thread.stores += index - start_index
+            else:
+                thread.loads += index - start_index
+        if index >= count:
+            thread.run_op = None
+            thread.run_values = None
+            thread.pending_value = None if is_write else values
+        self._schedule(thread, clock)
 
     def _exec_bulk(self, thread, op):
         """Analytic streaming over a large range (native-input scale)."""

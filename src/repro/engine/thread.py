@@ -49,6 +49,13 @@ class SimThread:
         self.joiners = []               # tids blocked in join on us
         self.blocked_on = None          # sync object or ('join', tid)
         self.seq = 0                    # scheduler tiebreaker
+        # in-flight AccessRun continuation (engine-owned): the engine
+        # yields the core mid-run whenever another thread becomes
+        # runnable, then resumes here instead of re-entering the
+        # generator
+        self.run_op = None              # the AccessRun being executed
+        self.run_index = 0              # next access within the run
+        self.run_values = None          # loads accumulated so far
         # statistics
         self.ops = 0
         self.loads = 0

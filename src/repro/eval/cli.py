@@ -9,6 +9,7 @@ Regenerate any paper artifact without pytest::
 """
 
 import argparse
+import os
 import sys
 
 from repro.eval import experiments
@@ -49,6 +50,10 @@ def build_parser():
                             help="workload scale (default per experiment)")
         cmd.add_argument("--no-save", action="store_true",
                         help="don't write results/<name>.txt")
+        cmd.add_argument("--jobs", type=int, default=None,
+                        help="grid worker processes (default: REPRO_JOBS "
+                             "env var, then cpu count); results are "
+                             "identical at any job count")
 
     run = sub.add_parser("run", help="run one workload under one system")
     run.add_argument("workload", choices=sorted(all_names()))
@@ -90,6 +95,8 @@ def main(argv=None):
     kwargs = {}
     if args.command not in _NO_SCALE and args.scale is not None:
         kwargs["scale"] = args.scale
+    if getattr(args, "jobs", None) is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     result = fn(**kwargs)
     print(result.text)
     if not args.no_save:

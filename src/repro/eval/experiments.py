@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from repro.core.config import TmiConfig
 from repro.core.consistency import TABLE2
 from repro.eval.charts import bar_chart
+from repro.eval.parallel import run_cells
 from repro.eval.report import format_table, geomean, save_text
 from repro.eval.runner import run_matrix, run_workload
 from repro.workloads import figure7_names, repair_suite_names
@@ -132,9 +133,17 @@ def figure8(scale=0.25, workloads=None):
     rows = []
     data = {"workloads": {}}
     overheads = []
+    outcomes = run_cells(
+        [dict(name=name, system=system, scale=scale)
+         for name in workloads for system in ("pthreads", "tmi-protect")])
+    by_cell = {}
+    for (name, system), outcome in zip(
+            [(n, s) for n in workloads
+             for s in ("pthreads", "tmi-protect")], outcomes):
+        by_cell[(name, system)] = outcome
     for name in workloads:
-        base = run_workload(name, "pthreads", scale=scale)
-        tmi = run_workload(name, "tmi-protect", scale=scale)
+        base = by_cell[(name, "pthreads")]
+        tmi = by_cell[(name, "tmi-protect")]
         base_mb = base.result.total_memory / MB
         tmi_mb = tmi.result.total_memory / MB if tmi.ok else None
         data["workloads"][name] = {"pthreads_mb": base_mb,
@@ -240,11 +249,13 @@ def figure10(scale=1.0, workloads=None):
     rows = []
     data = {"workloads": {}}
     ratios = []
-    for name in workloads:
-        small = run_workload(name, "tmi-detect", scale=scale,
-                             config=TmiConfig(huge_pages=False))
-        huge = run_workload(name, "tmi-detect", scale=scale,
-                            config=TmiConfig(huge_pages=True))
+    outcomes = run_cells(
+        [dict(name=name, system="tmi-detect", scale=scale,
+              config=TmiConfig(huge_pages=huge))
+         for name in workloads for huge in (False, True)])
+    for index, name in enumerate(workloads):
+        small = outcomes[2 * index]
+        huge = outcomes[2 * index + 1]
         pct = (small.result.cycles / huge.result.cycles - 1) * 100
         data["workloads"][name] = {"overhead_pct": pct}
         ratios.append(small.result.cycles / huge.result.cycles)

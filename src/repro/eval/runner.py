@@ -61,12 +61,19 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
     return RunOutcome(name, system, OK, result=result)
 
 
-def run_matrix(workloads, systems, scale=1.0, config=None):
-    """{workload: {system: RunOutcome}} over the cross product."""
+def run_matrix(workloads, systems, scale=1.0, config=None, jobs=None):
+    """{workload: {system: RunOutcome}} over the cross product.
+
+    Cells are independent simulations, so they fan out across worker
+    processes (``REPRO_JOBS``/``jobs``; see :mod:`repro.eval.parallel`)
+    with results identical to the serial loop.
+    """
+    from repro.eval.parallel import run_cells
+    pairs = [(name, system) for name in workloads for system in systems]
+    outcomes = run_cells(
+        [dict(name=name, system=system, scale=scale, config=config)
+         for name, system in pairs], jobs=jobs)
     grid = {}
-    for name in workloads:
-        grid[name] = {}
-        for system in systems:
-            grid[name][system] = run_workload(name, system, scale=scale,
-                                              config=config)
+    for (name, system), outcome in zip(pairs, outcomes):
+        grid.setdefault(name, {})[system] = outcome
     return grid

@@ -28,7 +28,7 @@ ACQ_REL = "acq_rel"
 SEQ_CST = "seq_cst"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstrSite:
     """One static instruction in a workload's binary."""
 
@@ -38,7 +38,7 @@ class InstrSite:
     width: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Load:
     site: InstrSite
     addr: int
@@ -46,7 +46,7 @@ class Load:
     volatile: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Store:
     site: InstrSite
     addr: int
@@ -55,7 +55,7 @@ class Store:
     volatile: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicRMW:
     """LOCK-prefixed read-modify-write; returns the old value.
 
@@ -72,7 +72,7 @@ class AtomicRMW:
     expected: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicLoad:
     site: InstrSite
     addr: int
@@ -80,7 +80,7 @@ class AtomicLoad:
     ordering: str = SEQ_CST
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicStore:
     site: InstrSite
     addr: int
@@ -89,19 +89,43 @@ class AtomicStore:
     ordering: str = SEQ_CST
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
+class AccessRun:
+    """A run of ``count`` same-site plain accesses ``stride`` bytes apart.
+
+    Semantically identical to yielding ``count`` individual
+    :class:`Load`/:class:`Store` ops at ``addr, addr+stride, ...`` — the
+    engine still translates, charges coherence, and fires HITM listeners
+    per access, and still yields the core between accesses whenever
+    another thread becomes runnable — but the whole run costs one
+    generator round-trip instead of ``count``.  Loads send the list of
+    loaded values back into the generator; stores write ``value`` to
+    every slot.
+    """
+
+    site: InstrSite
+    addr: int
+    count: int
+    stride: int
+    width: int
+    is_write: bool
+    value: int = 0
+    volatile: bool = False
+
+
+@dataclass(frozen=True, slots=True)
 class Fence:
     site: InstrSite
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Pure CPU work: advances the clock without touching memory."""
 
     cycles: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BulkTouch:
     """Analytic streaming access over [addr, addr+nbytes).
 
@@ -116,33 +140,33 @@ class BulkTouch:
     is_write: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegionBegin:
     kind: str                  # REGION_ATOMIC | REGION_ASM
     ordering: str = SEQ_CST    # for atomic regions
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegionEnd:
     kind: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MutexLock:
     mutex: object
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MutexUnlock:
     mutex: object
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BarrierWait:
     barrier: object
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CondWait:
     """pthread_cond_wait: atomically release ``mutex`` and sleep."""
 
@@ -150,13 +174,13 @@ class CondWait:
     mutex: object
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CondSignal:
     condvar: object
     broadcast: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Malloc:
     """Heap allocation through the active runtime's allocator."""
 
@@ -164,12 +188,12 @@ class Malloc:
     align: int = 0             # 0 = allocator default
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FreeOp:
     addr: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ThreadCreate:
     """Spawn a new application thread running ``body(ctx)``."""
 
@@ -178,6 +202,6 @@ class ThreadCreate:
     args: tuple = field(default_factory=tuple)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ThreadJoin:
     tid: int

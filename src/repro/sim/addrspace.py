@@ -143,6 +143,13 @@ class AddressSpace:
         self.cow_hook = None
         self.fault_count = {"anon": 0, "shared_file": 0, "cow": 0}
         self.private_bytes = 0     # physical bytes in private frames
+        # Translation micro-cache: (va >> 12) -> (pa - va, granule end).
+        # An entry exists only for 4 KB granules in *steady state* —
+        # touched, and either shared+writable or already-COWed private —
+        # where translation is a constant offset with zero cost for both
+        # reads and writes.  Any page-table mutation (mmap/munmap/split/
+        # protect/unprotect) clears the whole cache; fork starts empty.
+        self._tcache = {}
 
     # ------------------------------------------------------------------
     # mapping management
@@ -165,6 +172,7 @@ class AddressSpace:
             )
         self._starts.insert(index, start)
         self._maps.insert(index, mapping)
+        self._tcache.clear()
         return mapping
 
     def munmap(self, start):
@@ -174,6 +182,7 @@ class AddressSpace:
             raise InvalidMappingError(f"no mapping at {start:#x}")
         mapping = self._maps.pop(index)
         self._starts.pop(index)
+        self._tcache.clear()
         for state in mapping.pages.values():
             if state.private_pa:
                 self.physmem.free(state.private_pa, mapping.page_size)
@@ -205,6 +214,7 @@ class AddressSpace:
         pos = bisect.bisect_left(self._starts, mapping.start)
         self._starts.pop(pos)
         self._maps.pop(pos)
+        self._tcache.clear()
 
         pieces = []
         if split_start > mapping.start:
@@ -269,6 +279,7 @@ class AddressSpace:
         state = mapping.page_state(mapping.page_index(va))
         state.mode = mode
         state.writable = writable
+        self._tcache.clear()
         return state
 
     def unprotect_page(self, va):
@@ -282,6 +293,7 @@ class AddressSpace:
             state.private_pa = 0
         state.mode = SHARED
         state.writable = True
+        self._tcache.clear()
         return state
 
     def page_base(self, va):
@@ -293,6 +305,37 @@ class AddressSpace:
     # ------------------------------------------------------------------
     # translation
     # ------------------------------------------------------------------
+    def fast_pa(self, va, width):
+        """Physical address for a steady-state access, or None.
+
+        Serves only accesses whose 4 KB granule has a cache entry — i.e.
+        pages where :meth:`translate` would return the same constant
+        offset with zero cost for reads *and* writes.  Accesses that
+        cross the granule, or pages with pending faults or protection,
+        fall back to the full walk (returns None).
+        """
+        entry = self._tcache.get(va >> 12)
+        if entry is not None:
+            delta, limit = entry
+            if va + width <= limit:
+                return va + delta
+        return None
+
+    def _cache_granule(self, va, pa):
+        granule = va & ~0xFFF
+        self._tcache[va >> 12] = (pa - va, granule + 4096)
+
+    def invalidate_translations(self):
+        """Drop the translation micro-cache.
+
+        Must be called by any code that mutates page state without
+        going through this class's methods (the PTSB re-arming a page
+        after commit, the PTSB-everywhere ablation flipping whole
+        mappings to PRIVATE); the mmap/protect/split methods here
+        already do it themselves.
+        """
+        self._tcache.clear()
+
     def translate(self, va, width, is_write):
         """Translate an access; services faults; returns :class:`Translation`.
 
@@ -328,6 +371,8 @@ class AddressSpace:
                 raise SegmentationFault(va, True, "write to read-only page")
             result.pa = shared_pa + (va - mapping.start
                                      - index * mapping.page_size)
+            if state.writable:
+                self._cache_granule(va, result.pa)
             return result
 
         # PRIVATE page
@@ -356,6 +401,9 @@ class AddressSpace:
             state.writable = True
         result.pa = state.private_pa + (va - mapping.start
                                         - index * mapping.page_size)
+        # post-COW private frames translate identically for reads and
+        # writes, so the granule is steady state
+        self._cache_granule(va, result.pa)
         return result
 
     def shared_pa(self, va):

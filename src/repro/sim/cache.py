@@ -35,13 +35,35 @@ class AccessOutcome:
 
 
 class CoherenceDirectory:
-    """Directory-based MESI over physical line addresses."""
+    """Directory-based MESI over physical line addresses.
+
+    The dominant steady state in every workload is a core re-hitting a
+    line it already owns in M/E with no other core in the line's recent
+    contention history.  ``_fast`` is an *owner micro-cache* for exactly
+    that case: line -> (owner core, holders dict, owner's ``_recent``
+    timestamp cell).  A hit charges ``load_hit``/``store_hit``, performs
+    the E->M upgrade in place, and refreshes the owner's contention
+    timestamps — byte-for-byte what the slow path would compute —
+    without walking ``_lines``/``_recent``.  Entries are evicted
+    whenever the line takes the slow path (any other core touching it,
+    or a multi-line access) and on :meth:`flush_range`; they are only
+    (re)installed from the slow path once the sole-owner condition is
+    re-established.  ``ReferenceDirectory`` in ``cache_ref.py`` keeps
+    the unoptimized model for differential testing.
+    """
 
     def __init__(self, costs, n_cores):
         self.costs = costs
         self.n_cores = n_cores
         self._lines = {}           # line pa -> {core: state}
         self._recent = {}          # line pa -> {core: [last_any, last_wr]}
+        self._fast = {}            # line pa -> (core, holders, mine)
+        self._pool = AccessOutcome()
+        # cost constants, snapshotted (CostModel instances are never
+        # mutated after construction)
+        self._contend_window = costs.contend_window
+        self._contend_penalty = costs.contend_penalty
+        self._contend_max_cores = costs.contend_max_cores
         self.hitm_load_count = 0
         self.hitm_store_count = 0
         self.access_count = 0
@@ -55,12 +77,54 @@ class CoherenceDirectory:
         charged independently (as hardware does for split accesses).
         ``now`` (the accessing core's clock) drives the hot-line
         contention model.
+
+        The returned outcome is pooled: it is only valid until the next
+        ``access`` call.  Callers must consume (or copy) its fields
+        before performing another access.
         """
-        out = AccessOutcome()
         first = pa & ~(LINE_SIZE - 1)
         last = (pa + width - 1) & ~(LINE_SIZE - 1)
+        out = self._pool
+        out.cost = 0
+        out.lines = 1
+        if out.hitm_remotes:
+            out.hitm_remotes = []
+
+        if first == last:
+            entry = self._fast.get(first)
+            if entry is not None and entry[0] == core:
+                _owner, holders, mine = entry
+                mine[0] = now
+                if is_write:
+                    mine[1] = now
+                    if holders[core] is EXCLUSIVE:
+                        holders[core] = MODIFIED
+                    out.cost = self.costs.store_hit
+                else:
+                    out.cost = self.costs.load_hit
+                self.access_count += 1
+                return out
+
+            # single-line slow path (the overwhelmingly common shape)
+            self._fast.pop(first, None)
+            self._access_line(core, first, is_write, out)
+            out.cost += self._contention(core, first, is_write, now)
+            self.access_count += 1
+
+            holders = self._lines.get(first)
+            if holders is not None and len(holders) == 1:
+                state = holders.get(core)
+                if state is MODIFIED or state is EXCLUSIVE:
+                    recent = self._recent.get(first)
+                    if recent is not None and len(recent) == 1 \
+                            and core in recent:
+                        self._fast[first] = (core, holders, recent[core])
+            return out
+
+        out.lines = 0
         line = first
         while line <= last:
+            self._fast.pop(line, None)
             self._access_line(core, line, is_write, out)
             out.cost += self._contention(core, line, is_write, now)
             out.lines += 1
@@ -78,12 +142,11 @@ class CoherenceDirectory:
         line within a recent window, whenever the conflict involves a
         writer (SWMR serialization); read-only sharing stays free.
         """
-        costs = self.costs
         recent = self._recent.get(line)
         if recent is None:
             self._recent[line] = {core: [now, now if is_write else None]}
             return 0
-        horizon = now - costs.contend_window
+        horizon = now - self._contend_window
         conflicting = 0
         stale = None
         for other, (last_any, last_write) in recent.items():
@@ -109,8 +172,8 @@ class CoherenceDirectory:
         if not conflicting:
             return 0
         self.contended_accesses += 1
-        return costs.contend_penalty * min(conflicting,
-                                           costs.contend_max_cores)
+        return self._contend_penalty * min(conflicting,
+                                           self._contend_max_cores)
 
     def _access_line(self, core, line, is_write, out):
         costs = self.costs
@@ -172,13 +235,31 @@ class CoherenceDirectory:
 
     # ------------------------------------------------------------------
     def flush_range(self, pa, nbytes):
-        """Invalidate every copy of every line in [pa, pa+nbytes)."""
+        """Invalidate every copy of every line in [pa, pa+nbytes).
+
+        Also drops the contention history for the flushed lines: after a
+        PTSB commit or frame recycle the physical line is gone, so new
+        accesses must not keep paying ``contend_penalty`` against its
+        pre-flush sharers.
+        """
         first = pa & ~(LINE_SIZE - 1)
         last = (pa + nbytes - 1) & ~(LINE_SIZE - 1)
         line = first
         while line <= last:
             self._lines.pop(line, None)
+            self._recent.pop(line, None)
+            self._fast.pop(line, None)
             line += LINE_SIZE
+
+    def invalidate_fast_path(self):
+        """Drop every owner micro-cache entry (state stays intact).
+
+        Called around events that re-home threads across address spaces
+        (T2P forks): the MESI state itself is keyed by physical line and
+        survives, but the micro-cache's owner assumptions are cheap to
+        rebuild and this keeps the invalidation story auditable.
+        """
+        self._fast.clear()
 
     def line_holders(self, pa):
         """{core: state} for the line containing ``pa`` (test hook)."""

@@ -1,0 +1,186 @@
+"""Reference MESI directory: the straight-line pre-fast-path model.
+
+This is the coherence model of :mod:`repro.sim.cache` *without* the
+owner micro-cache and outcome pooling — every access walks the
+directory dicts and the contention history, and every call returns a
+fresh :class:`AccessOutcome`.  It exists so the differential test
+(``tests/sim/test_fastpath_equiv.py``) can replay randomized access
+traces through both implementations and assert identical costs, HITM
+events, and SWMR state.  Keep its semantics in lockstep with any change
+to the optimized directory.
+"""
+
+from repro.sim.costs import LINE_SIZE
+
+MODIFIED = "M"
+EXCLUSIVE = "E"
+SHARED_ST = "S"
+
+
+class RefOutcome:
+    """Cost and coherence effects of one memory access (unpooled)."""
+
+    __slots__ = ("cost", "hitm_remotes", "lines")
+
+    def __init__(self):
+        self.cost = 0
+        self.hitm_remotes = []
+        self.lines = 0
+
+    @property
+    def hitm(self):
+        return bool(self.hitm_remotes)
+
+
+class ReferenceDirectory:
+    """Directory-based MESI over physical line addresses (slow path)."""
+
+    def __init__(self, costs, n_cores):
+        self.costs = costs
+        self.n_cores = n_cores
+        self._lines = {}           # line pa -> {core: state}
+        self._recent = {}          # line pa -> {core: [last_any, last_wr]}
+        self.hitm_load_count = 0
+        self.hitm_store_count = 0
+        self.access_count = 0
+        self.contended_accesses = 0
+
+    # ------------------------------------------------------------------
+    def access(self, core, pa, width, is_write, now=0):
+        out = RefOutcome()
+        first = pa & ~(LINE_SIZE - 1)
+        last = (pa + width - 1) & ~(LINE_SIZE - 1)
+        line = first
+        while line <= last:
+            self._access_line(core, line, is_write, out)
+            out.cost += self._contention(core, line, is_write, now)
+            out.lines += 1
+            line += LINE_SIZE
+        self.access_count += 1
+        return out
+
+    def _contention(self, core, line, is_write, now):
+        costs = self.costs
+        recent = self._recent.get(line)
+        if recent is None:
+            self._recent[line] = {core: [now, now if is_write else None]}
+            return 0
+        horizon = now - costs.contend_window
+        conflicting = 0
+        stale = None
+        for other, (last_any, last_write) in recent.items():
+            if other == core:
+                continue
+            if last_any < horizon:
+                stale = other if stale is None else stale
+                continue
+            if is_write or (last_write is not None
+                            and last_write >= horizon):
+                conflicting += 1
+        if stale is not None and len(recent) > 4:
+            for other in [o for o, (la, _lw) in recent.items()
+                          if la < horizon and o != core]:
+                del recent[other]
+        mine = recent.get(core)
+        if mine is None:
+            recent[core] = [now, now if is_write else None]
+        else:
+            mine[0] = now
+            if is_write:
+                mine[1] = now
+        if not conflicting:
+            return 0
+        self.contended_accesses += 1
+        return costs.contend_penalty * min(conflicting,
+                                           costs.contend_max_cores)
+
+    def _access_line(self, core, line, is_write, out):
+        costs = self.costs
+        holders = self._lines.get(line)
+        if holders is None:
+            holders = {}
+            self._lines[line] = holders
+        mine = holders.get(core)
+
+        if not is_write:
+            if mine is not None:
+                out.cost += costs.load_hit
+                return
+            remote_m = _modified_holder(holders, core)
+            if remote_m is not None:
+                holders[remote_m] = SHARED_ST
+                holders[core] = SHARED_ST
+                out.cost += costs.hitm_load
+                out.hitm_remotes.append(remote_m)
+                self.hitm_load_count += 1
+            elif holders:
+                for other in holders:
+                    if holders[other] == EXCLUSIVE:
+                        holders[other] = SHARED_ST
+                holders[core] = SHARED_ST
+                out.cost += costs.shared_fill
+            else:
+                holders[core] = EXCLUSIVE
+                out.cost += costs.mem_fill
+            return
+
+        if mine == MODIFIED:
+            out.cost += costs.store_hit
+            return
+        if mine == EXCLUSIVE:
+            holders[core] = MODIFIED
+            out.cost += costs.store_hit
+            return
+        remote_m = _modified_holder(holders, core)
+        if remote_m is not None:
+            del holders[remote_m]
+            holders[core] = MODIFIED
+            out.cost += costs.hitm_store
+            out.hitm_remotes.append(remote_m)
+            self.hitm_store_count += 1
+            return
+        others = [c for c in holders if c != core]
+        if mine == SHARED_ST or others:
+            for other in others:
+                del holders[other]
+            holders[core] = MODIFIED
+            out.cost += costs.upgrade if mine == SHARED_ST else costs.mem_fill
+            return
+        holders[core] = MODIFIED
+        out.cost += costs.mem_fill
+
+    # ------------------------------------------------------------------
+    def flush_range(self, pa, nbytes):
+        first = pa & ~(LINE_SIZE - 1)
+        last = (pa + nbytes - 1) & ~(LINE_SIZE - 1)
+        line = first
+        while line <= last:
+            self._lines.pop(line, None)
+            self._recent.pop(line, None)
+            line += LINE_SIZE
+
+    def line_holders(self, pa):
+        return dict(self._lines.get(pa & ~(LINE_SIZE - 1), {}))
+
+    def check_swmr(self):
+        for line, holders in self._lines.items():
+            writers = [c for c, s in holders.items() if s == MODIFIED]
+            if len(writers) > 1:
+                raise AssertionError(
+                    f"line {line:#x}: multiple writers {writers}")
+            if writers and len(holders) > 1:
+                raise AssertionError(
+                    f"line {line:#x}: writer {writers[0]} coexists with "
+                    f"readers {sorted(holders)}")
+            exclusive = [c for c, s in holders.items() if s == EXCLUSIVE]
+            if exclusive and len(holders) > 1:
+                raise AssertionError(
+                    f"line {line:#x}: E holder with other sharers")
+        return len(self._lines)
+
+
+def _modified_holder(holders, exclude):
+    for core, state in holders.items():
+        if core != exclude and state == MODIFIED:
+            return core
+    return None

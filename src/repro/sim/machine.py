@@ -45,20 +45,27 @@ class Machine:
         Returns ``(cost, loaded_value)``; ``loaded_value`` is None for
         stores.  Fires HITM listeners and accumulates their costs.
         """
-        outcome = self.directory.access(core, pa, width, is_write,
-                                        now=self.core_clock[core])
+        now = self.core_clock[core]
+        outcome = self.directory.access(core, pa, width, is_write, now=now)
         cost = outcome.cost
-        for remote in outcome.hitm_remotes:
-            self.hitm_events += 1
-            event = HitmEvent(
-                cycle=self.core_clock[core], core=core, tid=tid, pc=pc,
-                va=va, pa=pa, width=width, is_store=is_write,
-                remote_core=remote,
-            )
-            for listener in self._hitm_listeners:
-                extra = listener(event)
-                if extra:
-                    cost += extra
+        if outcome.hitm_remotes:
+            if not self._hitm_listeners:
+                self.hitm_events += len(outcome.hitm_remotes)
+            else:
+                # snapshot: the outcome is pooled, and listeners may
+                # re-enter mem_access (runtime instrumentation issuing
+                # its own probes)
+                for remote in tuple(outcome.hitm_remotes):
+                    self.hitm_events += 1
+                    event = HitmEvent(
+                        cycle=now, core=core, tid=tid, pc=pc,
+                        va=va, pa=pa, width=width, is_store=is_write,
+                        remote_core=remote,
+                    )
+                    for listener in self._hitm_listeners:
+                        extra = listener(event)
+                        if extra:
+                            cost += extra
         if is_write:
             self.physmem.write_int(pa, value, width)
             return cost, None

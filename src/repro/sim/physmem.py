@@ -10,11 +10,18 @@ ranges are recycled for COW copies and twins so long-running repairs do
 not grow host memory without bound.
 """
 
+import struct
+
 from repro.errors import SimulationError
 
 #: Storage chunk granularity; independent of the mapping page size.
 _CHUNK = 4096
 _CHUNK_MASK = _CHUNK - 1
+
+#: Little-endian codecs for the power-of-two access widths.
+_INT_CODEC = {1: struct.Struct("<B"), 2: struct.Struct("<H"),
+              4: struct.Struct("<I"), 8: struct.Struct("<Q")}
+_INT_MASK = {w: (1 << (8 * w)) - 1 for w in _INT_CODEC}
 
 
 class PhysicalMemory:
@@ -96,10 +103,27 @@ class PhysicalMemory:
 
     def read_int(self, pa, width):
         """Read a little-endian unsigned integer."""
+        off = pa & _CHUNK_MASK
+        codec = _INT_CODEC.get(width)
+        if codec is not None and off + width <= _CHUNK:
+            chunk = self._chunks.get(pa - off)
+            if chunk is None:
+                return 0
+            return codec.unpack_from(chunk, off)[0]
         return int.from_bytes(self.read(pa, width), "little")
 
     def write_int(self, pa, value, width):
         """Write a little-endian unsigned integer (masked to width)."""
+        off = pa & _CHUNK_MASK
+        codec = _INT_CODEC.get(width)
+        if codec is not None and off + width <= _CHUNK:
+            base = pa - off
+            chunk = self._chunks.get(base)
+            if chunk is None:
+                chunk = bytearray(_CHUNK)
+                self._chunks[base] = chunk
+            codec.pack_into(chunk, off, value & _INT_MASK[width])
+            return
         mask = (1 << (8 * width)) - 1
         self.write(pa, (value & mask).to_bytes(width, "little"))
 

@@ -107,11 +107,9 @@ class LevelDB(Workload):
                                            site=st_cnt)
 
             yield from spawn_join(t, nworkers, worker)
-            total = 0
-            for wi in range(nworkers):
-                total += yield from t.load(
-                    counters + wi * counter_stride, 8, site=ld_cnt)
-            env["total_ops"] = total
+            values = yield from t.load_run(counters, nworkers,
+                                           counter_stride, 8, site=ld_cnt)
+            env["total_ops"] = sum(values)
 
         return main
 

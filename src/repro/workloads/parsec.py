@@ -163,10 +163,7 @@ class Canneal(Workload):
                     yield from w.asm_end()
 
             yield from spawn_join(t, nworkers, worker)
-            seen = []
-            for i in range(elements):
-                value = yield from t.load(grid + i * 8, 8)
-                seen.append(value)
+            seen = yield from t.load_run(grid, elements, 8, 8)
             env["final_grid"] = seen
 
         return main

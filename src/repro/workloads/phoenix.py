@@ -78,10 +78,12 @@ class Histogram(Workload):
 
             yield from spawn_join(t, nworkers, worker)
             total = 0
+            sample_count = (_BINS + 96) // 97
             for wi in range(nworkers):
-                for b in range(0, _BINS, 97):
-                    total += yield from t.load(
-                        counters + wi * stride + b * 4, 4, site=ld_c)
+                values = yield from t.load_run(
+                    counters + wi * stride, sample_count, 97 * 4, 4,
+                    site=ld_c)
+                total += sum(values)
             env["checksum"] = total
 
         return main
@@ -137,10 +139,9 @@ class LinearRegression(Workload):
                     yield from w.compute(12)
 
             yield from spawn_join(t, nworkers, worker)
-            total = 0
-            for wi in range(nworkers):
-                total += yield from t.load(args + wi * stride, 8, site=ld)
-            env["sx_total"] = total
+            values = yield from t.load_run(args, nworkers, stride, 8,
+                                           site=ld)
+            env["sx_total"] = sum(values)
 
         return main
 

@@ -1,0 +1,77 @@
+"""Cycle-exactness regression goldens.
+
+``golden_pr1.json`` holds simulated cycle counts, HITM totals, and op
+counters for one small workload per suite family (phoenix, parsec,
+splash2x, boost, apps/leveldb), each under plain pthreads and full
+tmi-protect.  The numbers were captured *before* the interpreter fast
+paths landed (owner micro-cache, type-keyed dispatch, batched
+``AccessRun``, translation cache, parallel grid runner), so this test
+pins the property those optimizations promised: they change how fast
+the simulator runs, never what it computes.
+
+If a change legitimately alters simulated behaviour (a cost-model or
+coherence change, not an optimization), regenerate the file::
+
+    PYTHONPATH=src python tests/integration/test_cycle_exactness.py
+
+and explain the regeneration in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).with_name("golden_pr1.json")
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+#: Fields every run must reproduce bit-for-bit.
+EXACT_FIELDS = ("status", "cycles", "hitm_loads", "hitm_stores",
+                "data_ops", "sync_ops", "validated")
+
+
+def observe(name, system, scale):
+    from repro.eval.runner import run_workload
+    outcome = run_workload(name, system, scale=scale)
+    result = outcome.result
+    return {
+        "status": outcome.status,
+        "cycles": result.cycles if result else None,
+        "hitm_loads": result.hitm_loads if result else None,
+        "hitm_stores": result.hitm_stores if result else None,
+        "data_ops": result.data_ops if result else None,
+        "sync_ops": result.sync_ops if result else None,
+        "validated": result.validated if result else None,
+    }
+
+
+@pytest.mark.parametrize("key", sorted(GOLDENS))
+def test_workload_is_cycle_exact(key):
+    golden = GOLDENS[key]
+    name, system = key.split("/")
+    got = observe(name, system, golden["scale"])
+    mismatches = {field: (got[field], golden[field])
+                  for field in EXACT_FIELDS
+                  if got[field] != golden[field]}
+    assert not mismatches, (
+        f"{key} diverged from pre-optimization golden "
+        f"(got, want): {mismatches}")
+
+
+def _regenerate():
+    from repro.eval.runner import run_workload
+    from repro.workloads import get as get_workload
+    fresh = {}
+    for key, golden in sorted(GOLDENS.items()):
+        name, system = key.split("/")
+        entry = observe(name, system, golden["scale"])
+        entry["scale"] = golden["scale"]
+        entry["suite"] = get_workload(name).suite
+        fresh[key] = entry
+    GOLDEN_PATH.write_text(json.dumps(fresh, indent=1, sort_keys=True)
+                           + "\n")
+    print(f"rewrote {GOLDEN_PATH} ({len(fresh)} entries)")
+
+
+if __name__ == "__main__":
+    _regenerate()
