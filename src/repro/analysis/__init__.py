@@ -1,0 +1,31 @@
+"""Correctness tooling over the simulator: static lint + race sanitizer.
+
+Two engines share one reporting vocabulary:
+
+- the **static linter** (:mod:`repro.analysis.lint`) walks a workload's
+  op streams by abstract interpretation — no simulated cycles — and
+  predicts falsely shared cache lines (Predator-style), flags layout
+  and region/lock structure bugs, and cross-checks the declared
+  :class:`~repro.engine.program.WorkloadFeatures` against what the
+  binary actually executes;
+- the **race sanitizer** (:mod:`repro.analysis.race`) is a
+  FastTrack-style vector-clock detector fed from the engine's observer
+  callbacks during a real simulation, which also asserts that PTSB
+  commits under the TMI runtime respect happens-before.
+
+Both are strictly opt-in: with no observer attached and no linter run,
+the engine executes bit-identically to before (the cycle-exactness
+goldens enforce this).
+"""
+
+from repro.analysis.findings import (ERROR, Finding, INFO, WARNING,
+                                     format_findings, max_severity)
+from repro.analysis.lint import LintReport, lint_program, lint_workload
+from repro.analysis.observer import EngineObserver
+from repro.analysis.race import RaceSanitizer
+
+__all__ = [
+    "ERROR", "Finding", "INFO", "WARNING", "format_findings",
+    "max_severity", "LintReport", "lint_program", "lint_workload",
+    "EngineObserver", "RaceSanitizer",
+]

@@ -1,0 +1,72 @@
+"""Shared finding vocabulary for the analysis engines.
+
+A finding is one diagnosed problem (or notable fact) with a stable
+``rule`` identifier, a severity, and enough location detail — an
+instruction site and/or a cache-line address — to act on it.  The CI
+lint gate keys off severities: ``error`` findings fail the build.
+"""
+
+from dataclasses import dataclass, field
+
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+#: Ordering used by :func:`max_severity` and the CI gate.
+_RANK = {INFO: 0, WARNING: 1, ERROR: 2}
+
+
+@dataclass
+class Finding:
+    """One diagnostic from the linter or sanitizer."""
+
+    rule: str                      # stable kebab-case identifier
+    severity: str                  # info | warning | error
+    message: str
+    #: Instruction site the finding anchors to, when one exists.
+    pc: int = 0
+    label: str = ""
+    #: Cache line the finding concerns, when one exists.
+    line_va: int = 0
+    #: Free-form extra data (tids, byte masks, counts).
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self):
+        where = ""
+        if self.label:
+            where = f" @{self.label}"
+        elif self.pc:
+            where = f" @pc={self.pc:#x}"
+        if self.line_va:
+            where += f" line={self.line_va:#x}"
+        return f"[{self.severity}] {self.rule}{where}: {self.message}"
+
+
+def max_severity(findings):
+    """Highest severity present, or None for an empty list."""
+    best = None
+    for finding in findings:
+        if best is None or _RANK[finding.severity] > _RANK[best]:
+            best = finding.severity
+    return best
+
+
+def count_by_severity(findings):
+    counts = {INFO: 0, WARNING: 0, ERROR: 0}
+    for finding in findings:
+        counts[finding.severity] += 1
+    return counts
+
+
+def format_findings(findings, title=""):
+    """Render findings one per line, errors first."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not findings:
+        lines.append("  (no findings)")
+        return "\n".join(lines)
+    ordered = sorted(findings, key=lambda f: -_RANK[f.severity])
+    for finding in ordered:
+        lines.append(f"  {finding}")
+    return "\n".join(lines)

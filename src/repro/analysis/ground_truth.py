@@ -1,0 +1,115 @@
+"""Simulated-HITM ground truth for scoring the static linter.
+
+Runs a workload under the pthreads baseline with a HITM listener that
+records per-line, per-thread byte masks — exactly the information the
+paper's detector samples, but exhaustively rather than statistically —
+and classifies the touched lines with the same byte-overlap rule the
+linter uses (:mod:`repro.analysis.layout_check`).  The listener charges
+zero extra cycles, so the run's results are the baseline's.
+
+Like the extractor, masks count only while at least two threads are
+alive; a HITM can fire after the last worker exits (main reading
+worker-dirtied lines during reduction), and those are not concurrency.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.layout_check import (classify_lines,
+                                         false_sharing_lines,
+                                         true_sharing_lines)
+from repro.analysis.observer import EngineObserver
+from repro.sim.costs import LINE_SIZE
+
+_LINE_MASK = ~(LINE_SIZE - 1)
+
+
+class HitmGroundTruth(EngineObserver):
+    """Observer + HITM listener collecting sharing ground truth."""
+
+    def __init__(self):
+        self.lines = {}        # line_va -> {tid: [read_mask, write_mask]}
+        self.hitm_count = 0
+        self._alive = 0
+
+    def on_attach(self, engine):
+        engine.machine.add_hitm_listener(self._on_hitm)
+
+    def on_thread_create(self, parent_tid, child_tid):
+        self._alive += 1
+
+    def on_thread_exit(self, tid):
+        self._alive -= 1
+
+    def _on_hitm(self, event):
+        self.hitm_count += 1
+        if self._alive < 2:
+            return None
+        addr = event.va
+        end = addr + event.width
+        lines = self.lines
+        while addr < end:
+            line = addr & _LINE_MASK
+            take = min(end, line + LINE_SIZE) - addr
+            mask = ((1 << take) - 1) << (addr - line)
+            record = lines.setdefault(line, {}).setdefault(
+                event.tid, [0, 0])
+            record[1 if event.is_store else 0] |= mask
+            addr += take
+        return None               # zero added cost
+
+    def shared_lines(self):
+        return classify_lines(self.lines)
+
+
+@dataclass
+class GroundTruth:
+    """Classified HITM ground truth from one baseline run."""
+
+    workload: str
+    shared_lines: list = field(default_factory=list)
+    hitm_count: int = 0
+    result: object = None
+
+    @property
+    def false_lines(self):
+        return false_sharing_lines(self.shared_lines)
+
+    @property
+    def true_lines(self):
+        return true_sharing_lines(self.shared_lines)
+
+
+def collect_ground_truth(workload, variant=None):
+    """Simulate ``workload`` under pthreads and classify HITM lines."""
+    from repro.baselines.pthreads import PthreadsRuntime
+    from repro.engine.scheduler import Engine
+
+    program = (workload.build() if variant is None
+               else workload.build(variant))
+    collector = HitmGroundTruth()
+    engine = Engine(program, PthreadsRuntime())
+    engine.attach_observer(collector)
+    result = engine.run()
+    return GroundTruth(
+        workload=program.name,
+        shared_lines=collector.shared_lines(),
+        hitm_count=collector.hitm_count,
+        result=result,
+    )
+
+
+def precision_recall(predicted_lines, truth_lines):
+    """Precision/recall of predicted line addresses vs ground truth.
+
+    Both arguments are SharedLine lists (typically the false-sharing
+    subset on each side).  Returns (precision, recall, tp, fp, fn);
+    precision/recall are 1.0 when their denominator is empty.
+    """
+    predicted = {line.line_va for line in predicted_lines}
+    truth = {line.line_va for line in truth_lines}
+    tp = len(predicted & truth)
+    fp = len(predicted - truth)
+    fn = len(truth - predicted)
+    precision = tp / (tp + fp) if (tp + fp) else 1.0
+    recall = tp / (tp + fn) if (tp + fn) else 1.0
+    return precision, recall, tp, fp, fn

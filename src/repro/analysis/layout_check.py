@@ -1,0 +1,73 @@
+"""Predator-style cache-line classification from extracted byte masks.
+
+The extractor records, per cache line and per thread, which bytes were
+read and written during the parallel phase.  A line is *shared* when at
+least two threads touch it and at least one writes it; it is *truly*
+shared when some writer's bytes overlap another thread's bytes, and
+*falsely* shared otherwise (same byte-overlap rule the runtime
+classifier in :mod:`repro.core.classify` applies to HITM samples, but
+over complete static knowledge instead of samples).
+"""
+
+from dataclasses import dataclass
+
+from repro.core.classify import FALSE_SHARING, TRUE_SHARING
+
+
+@dataclass(frozen=True)
+class SharedLine:
+    """One cache line touched by multiple threads with a writer."""
+
+    line_va: int
+    sharing: str                  # classify.FALSE_SHARING | TRUE_SHARING
+    tids: tuple
+    writer_tids: tuple
+    sites: tuple                  # labels of sites touching the line
+
+    def __str__(self):
+        kind = "false" if self.sharing == FALSE_SHARING else "true"
+        sites = ", ".join(self.sites) if self.sites else "?"
+        return (f"line {self.line_va:#x}: {kind} sharing, "
+                f"writers {list(self.writer_tids)}, "
+                f"threads {list(self.tids)}, via {sites}")
+
+
+def classify_lines(lines, line_sites=None):
+    """Classify extracted masks into a sorted list of SharedLines.
+
+    ``lines`` maps line_va -> {tid: [read_mask, write_mask]} as produced
+    by :class:`~repro.analysis.extract.TraceExtractor`.
+    """
+    line_sites = line_sites or {}
+    shared = []
+    for line_va, by_tid in lines.items():
+        tids = [t for t, (r, w) in by_tid.items() if r | w]
+        writers = [t for t, (_r, w) in by_tid.items() if w]
+        if len(tids) < 2 or not writers:
+            continue
+        overlap = False
+        for writer in writers:
+            write_mask = by_tid[writer][1]
+            for tid, (r, w) in by_tid.items():
+                if tid != writer and write_mask & (r | w):
+                    overlap = True
+                    break
+            if overlap:
+                break
+        shared.append(SharedLine(
+            line_va=line_va,
+            sharing=TRUE_SHARING if overlap else FALSE_SHARING,
+            tids=tuple(sorted(tids)),
+            writer_tids=tuple(sorted(writers)),
+            sites=tuple(sorted(line_sites.get(line_va, ()))),
+        ))
+    shared.sort(key=lambda s: s.line_va)
+    return shared
+
+
+def false_sharing_lines(shared_lines):
+    return [s for s in shared_lines if s.sharing == FALSE_SHARING]
+
+
+def true_sharing_lines(shared_lines):
+    return [s for s in shared_lines if s.sharing == TRUE_SHARING]

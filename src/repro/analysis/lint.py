@@ -1,0 +1,157 @@
+"""Static false-sharing linter.
+
+``lint_program`` traces a Program with the abstract interpreter
+(:mod:`repro.analysis.extract`), classifies every multi-thread cache
+line (:mod:`repro.analysis.layout_check`), and cross-checks the
+workload's declared :class:`~repro.engine.program.WorkloadFeatures`
+against what the op streams actually execute.  No simulated cycle is
+spent.
+
+Severity scheme (the CI gate fails only on ``error``):
+
+- structural bugs — bad region nesting, unlock-without-lock, barrier
+  participation mismatches, deadlocks, line-straddling accesses — are
+  errors: the engine would abort or livelock on them;
+- a workload that declares ``has_false_sharing`` but exhibits none is
+  an error (the declaration drives repair-suite expectations);
+- predicted false sharing that is *not* declared is a warning — that is
+  the linter doing its job on a workload that has not been triaged;
+- declared-but-unexecuted feature classes, width mismatches, and
+  misalignment are warnings; everything informational is info.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.extract import DEFAULT_MAX_OPS, TraceExtractor
+from repro.analysis.findings import (ERROR, Finding, INFO, WARNING,
+                                     count_by_severity, format_findings)
+from repro.analysis.layout_check import (classify_lines,
+                                         false_sharing_lines,
+                                         true_sharing_lines)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint pass learned about a workload."""
+
+    workload: str
+    findings: list = field(default_factory=list)
+    shared_lines: list = field(default_factory=list)   # all SharedLines
+    predicted_false: list = field(default_factory=list)
+    predicted_true: list = field(default_factory=list)
+    ops: int = 0
+    threads: int = 0
+    truncated: bool = False
+
+    @property
+    def error_count(self):
+        return count_by_severity(self.findings)[ERROR]
+
+    @property
+    def ok(self):
+        """True when the CI gate would pass."""
+        return self.error_count == 0
+
+    def format(self):
+        counts = count_by_severity(self.findings)
+        head = (f"lint {self.workload}: {self.ops} ops, "
+                f"{self.threads} threads, "
+                f"{len(self.predicted_false)} false-sharing line(s), "
+                f"{len(self.predicted_true)} true-sharing line(s), "
+                f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s)")
+        return format_findings(self.findings, title=head)
+
+
+def lint_program(program, max_ops=DEFAULT_MAX_OPS):
+    """Lint one built Program; returns a LintReport."""
+    extractor = TraceExtractor(program, max_ops=max_ops)
+    extracted = extractor.run()
+    shared = classify_lines(extracted.lines, extracted.line_sites)
+    predicted_false = false_sharing_lines(shared)
+    predicted_true = true_sharing_lines(shared)
+
+    findings = list(extracted.findings)
+    features = program.features
+    fs_severity = INFO if features.has_false_sharing else WARNING
+    for line in predicted_false:
+        findings.append(Finding(
+            "false-sharing", fs_severity, str(line),
+            line_va=line.line_va,
+            detail={"tids": line.tids, "writers": line.writer_tids}))
+    for line in predicted_true:
+        findings.append(Finding(
+            "true-sharing", INFO, str(line), line_va=line.line_va,
+            detail={"tids": line.tids, "writers": line.writer_tids}))
+    findings.extend(_feature_findings(features, extracted.executed,
+                                      predicted_false, predicted_true))
+
+    return LintReport(
+        workload=program.name,
+        findings=findings,
+        shared_lines=shared,
+        predicted_false=predicted_false,
+        predicted_true=predicted_true,
+        ops=extracted.ops,
+        threads=extracted.threads,
+        truncated=extracted.truncated,
+    )
+
+
+def lint_workload(name, scale=None, nthreads=None, variant=None,
+                  max_ops=DEFAULT_MAX_OPS):
+    """Lint a registry workload by name.
+
+    ``variant=None`` uses the workload's canonical build (some, like
+    cholesky, default to their fixed variant).
+    """
+    from repro.workloads import registry
+
+    kwargs = {}
+    if scale is not None:
+        kwargs["scale"] = scale
+    if nthreads is not None:
+        kwargs["nthreads"] = nthreads
+    workload = registry.get(name, **kwargs)
+    if variant is None:
+        program = workload.build()
+    else:
+        program = workload.build(variant)
+    return lint_program(program, max_ops=max_ops)
+
+
+def _feature_findings(features, executed, predicted_false,
+                      predicted_true):
+    """Cross-check WorkloadFeatures against the traced binary."""
+    findings = []
+    if features.has_false_sharing and not predicted_false:
+        findings.append(Finding(
+            "feature-mismatch", ERROR,
+            "features declare has_false_sharing but the trace exhibits "
+            "no falsely shared line"))
+    if features.has_true_sharing and not predicted_true:
+        findings.append(Finding(
+            "feature-mismatch", INFO,
+            "features declare has_true_sharing but the trace exhibits "
+            "no truly shared line"))
+    elif predicted_true and not features.has_true_sharing:
+        findings.append(Finding(
+            "feature-mismatch", INFO,
+            f"{len(predicted_true)} truly shared line(s) found but "
+            f"features.has_true_sharing is False"))
+
+    for flag, key, what in (
+            ("uses_atomics", "atomics", "atomic operations"),
+            ("uses_asm", "asm", "inline-asm regions"),
+            ("uses_volatile_flags", "volatile", "volatile accesses")):
+        declared = getattr(features, flag)
+        ran = executed[key]
+        if ran and not declared:
+            findings.append(Finding(
+                "feature-mismatch", ERROR,
+                f"binary executes {what} but features.{flag} is False"))
+        elif declared and not ran:
+            findings.append(Finding(
+                "feature-unused", WARNING,
+                f"features.{flag} declared but the trace executed "
+                f"no {what}"))
+    return findings

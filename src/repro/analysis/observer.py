@@ -1,0 +1,73 @@
+"""Engine observer interface.
+
+The engine accepts one observer (``Engine.attach_observer``) and calls
+these methods at access, synchronization, and thread-lifecycle events.
+Every method is a no-op here so concrete observers — the race sanitizer
+and the HITM ground-truth collector — override only what they consume.
+
+The engine charges **zero cycles** for observer calls and emits none of
+them when no observer is attached, so simulation results are
+bit-identical with analysis disabled.
+
+Event ordering contracts the sanitizer relies on:
+
+- ``on_release(tid, obj)`` fires *after* the runtime's release hook (so
+  a TMI PTSB commit at the release is checked against the releaser's
+  pre-release clock), and ``on_acquire(tid, obj)`` fires *before* the
+  runtime's acquire hook (so a commit at the acquire sees the
+  post-acquire clock);
+- ``on_barrier(tids)`` fires at the release point, after all parties'
+  release-side hooks and before any acquire-side hook.
+"""
+
+
+class EngineObserver:
+    """Base observer: every callback is a no-op override point."""
+
+    def on_attach(self, engine):
+        """Observer was attached; ``engine`` is fully constructed."""
+
+    # ------------------------------------------------------------------
+    # data accesses
+    # ------------------------------------------------------------------
+    def on_access(self, tid, site, addr, width, is_write, volatile):
+        """One plain load or store (including each access of a run)."""
+
+    def on_atomic(self, tid, site, addr, width, is_write, is_rmw,
+                  ordering):
+        """One atomic access; RMWs report ``is_write=True, is_rmw=True``."""
+
+    def on_fence(self, tid):
+        """A full memory fence executed."""
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def on_acquire(self, tid, obj):
+        """Thread ``tid`` acquired mutex ``obj``."""
+
+    def on_release(self, tid, obj):
+        """Thread ``tid`` is releasing mutex ``obj`` (also fired when a
+        cond_wait atomically releases the mutex)."""
+
+    def on_barrier(self, tids):
+        """A barrier released; ``tids`` are all participants."""
+
+    def on_hb_edge(self, src_tid, dst_tid):
+        """A direct happens-before edge (join completion, cond signal)."""
+
+    # ------------------------------------------------------------------
+    # threads
+    # ------------------------------------------------------------------
+    def on_thread_create(self, parent_tid, child_tid):
+        """``parent_tid`` spawned ``child_tid``."""
+
+    def on_thread_exit(self, tid):
+        """Thread ``tid`` ran to completion."""
+
+    # ------------------------------------------------------------------
+    # TMI runtime
+    # ------------------------------------------------------------------
+    def on_ptsb_commit(self, info):
+        """A PTSB committed; ``info`` has pid/core/reason/pages/bytes
+        and the merged physical byte ``spans``."""

@@ -1,0 +1,271 @@
+"""FastTrack-style data-race sanitizer fed from engine observer events.
+
+Per-byte shadow state: the last write epoch and the set of read epochs
+not yet ordered behind a write.  An access races with a prior access
+when neither thread's clock covers the other's epoch and they conflict
+(at least one write).  Races where *both* sides are atomic — including
+``volatile`` accesses, which the simulator models as relaxed atomics —
+are exempt, matching the C11 rule that atomics never race (they may
+still be wrong, but that is ordering, not a data race).
+
+Happens-before edges come from the engine's observer stream:
+
+- mutex release publishes the releaser's clock on the lock; acquire
+  joins it (also used for the release half of ``cond_wait``);
+- barriers join all participants into one clock;
+- thread create/join and cond-signal wake-ups are direct edges;
+- full fences join through one global fence clock (fences are totally
+  ordered in the simulator), and non-relaxed atomic stores/RMWs publish
+  a per-address release clock that non-relaxed loads/RMWs acquire.
+
+The sanitizer also audits TMI's code-centric consistency claim
+(PAPER.md section 3.4): every PTSB commit records the committing
+thread's epoch for each merged byte, and two commits of the *same byte*
+from different processes must be happens-before ordered — otherwise the
+merge order is a coherence decision the hardware never made.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import ERROR, Finding, format_findings
+from repro.analysis.observer import EngineObserver
+from repro.analysis.vectorclock import VectorClock
+from repro.isa.ops import RELAXED
+from repro.sim.costs import LINE_SIZE
+
+_LINE_MASK = ~(LINE_SIZE - 1)
+
+#: Stop collecting after this many distinct race reports.
+DEFAULT_MAX_REPORTS = 50
+
+
+@dataclass
+class RaceReport:
+    """Result of one sanitized run."""
+
+    races: list = field(default_factory=list)
+    commit_violations: list = field(default_factory=list)
+    accesses: int = 0
+    commits_checked: int = 0
+
+    @property
+    def findings(self):
+        return self.races + self.commit_violations
+
+    @property
+    def ok(self):
+        return not self.races and not self.commit_violations
+
+    def format(self, title=""):
+        head = title or (f"sanitizer: {self.accesses} accesses, "
+                         f"{self.commits_checked} PTSB commits checked")
+        return format_findings(self.findings, title=head)
+
+
+class RaceSanitizer(EngineObserver):
+    """Attach to an Engine before ``run()``; read ``.report`` after."""
+
+    def __init__(self, max_reports=DEFAULT_MAX_REPORTS):
+        self.report = RaceReport()
+        self._max_reports = max_reports
+        self._engine = None
+        self._clocks = {}          # tid -> VectorClock
+        self._lock_clocks = {}     # id(sync obj) -> VectorClock
+        self._fence_clock = VectorClock()
+        self._atomic_release = {}  # addr -> VectorClock
+        # byte va -> (tid, clock, atomic, site)
+        self._write_shadow = {}
+        # byte va -> {tid: (clock, atomic, site)}
+        self._read_shadow = {}
+        # byte pa -> (tid, clock, pid) of the last PTSB commit
+        self._commit_shadow = {}
+        self._seen_races = set()
+        self._seen_commit_pairs = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_attach(self, engine):
+        self._engine = engine
+
+    def _clock(self, tid):
+        clock = self._clocks.get(tid)
+        if clock is None:
+            clock = VectorClock()
+            clock.tick(tid)
+            self._clocks[tid] = clock
+        return clock
+
+    def on_thread_create(self, parent_tid, child_tid):
+        if parent_tid is None:
+            self._clock(child_tid)
+            return
+        parent = self._clock(parent_tid)
+        child = parent.copy()
+        child.tick(child_tid)
+        self._clocks[child_tid] = child
+        parent.tick(parent_tid)
+
+    def on_hb_edge(self, src_tid, dst_tid):
+        self._clock(dst_tid).join(self._clock(src_tid))
+        self._clock(src_tid).tick(src_tid)
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def on_acquire(self, tid, obj):
+        published = self._lock_clocks.get(id(obj))
+        if published is not None:
+            self._clock(tid).join(published)
+
+    def on_release(self, tid, obj):
+        clock = self._clock(tid)
+        key = id(obj)
+        published = self._lock_clocks.get(key)
+        if published is None:
+            self._lock_clocks[key] = clock.copy()
+        else:
+            published.join(clock)
+        clock.tick(tid)
+
+    def on_barrier(self, tids):
+        joined = VectorClock()
+        for tid in tids:
+            joined.join(self._clock(tid))
+        for tid in tids:
+            clock = self._clock(tid)
+            clock.join(joined)
+            clock.tick(tid)
+
+    def on_fence(self, tid):
+        clock = self._clock(tid)
+        clock.join(self._fence_clock)
+        self._fence_clock.join(clock)
+        clock.tick(tid)
+
+    # ------------------------------------------------------------------
+    # accesses
+    # ------------------------------------------------------------------
+    def on_access(self, tid, site, addr, width, is_write, volatile):
+        # volatile is modeled as a relaxed atomic: exempt from racing
+        # against other atomics, but establishing no happens-before
+        self._access(tid, site, addr, width, is_write, atomic=volatile)
+
+    def on_atomic(self, tid, site, addr, width, is_write, is_rmw,
+                  ordering):
+        if ordering != RELAXED:
+            clock = self._clock(tid)
+            if is_rmw or not is_write:
+                published = self._atomic_release.get(addr)
+                if published is not None:
+                    clock.join(published)
+            if is_write:
+                published = self._atomic_release.get(addr)
+                if published is None:
+                    self._atomic_release[addr] = clock.copy()
+                else:
+                    published.join(clock)
+                clock.tick(tid)
+        self._access(tid, site, addr, width, is_write, atomic=True)
+
+    def _access(self, tid, site, addr, width, is_write, atomic):
+        report = self.report
+        report.accesses += 1
+        if len(report.races) >= self._max_reports:
+            return
+        clock = self._clock(tid)
+        epoch = clock.get(tid)
+        write_shadow = self._write_shadow
+        read_shadow = self._read_shadow
+        for byte in range(addr, addr + width):
+            last_write = write_shadow.get(byte)
+            if last_write is not None:
+                wtid, wclock, watomic, wsite = last_write
+                if (wtid != tid and not (atomic and watomic)
+                        and not clock.covers(wtid, wclock)):
+                    self._race(byte, wsite, wtid, True, site, tid,
+                               is_write)
+            if is_write:
+                readers = read_shadow.get(byte)
+                if readers:
+                    for rtid, (rclock, ratomic, rsite) in \
+                            readers.items():
+                        if (rtid != tid and not (atomic and ratomic)
+                                and not clock.covers(rtid, rclock)):
+                            self._race(byte, rsite, rtid, False, site,
+                                       tid, True)
+                    del read_shadow[byte]
+                write_shadow[byte] = (tid, epoch, atomic, site)
+            else:
+                readers = read_shadow.get(byte)
+                if readers is None:
+                    read_shadow[byte] = {tid: (epoch, atomic, site)}
+                else:
+                    readers[tid] = (epoch, atomic, site)
+
+    def _race(self, byte, first_site, first_tid, first_write,
+              second_site, second_tid, second_write):
+        key = (first_site.pc, second_site.pc)
+        if key in self._seen_races:
+            return
+        self._seen_races.add(key)
+        second_kind = "write" if second_write else "read"
+        first_kind = "write" if first_write else "read"
+        self.report.races.append(Finding(
+            "data-race", ERROR,
+            f"{second_kind} of {byte:#x} by t{second_tid} at "
+            f"{second_site.label or hex(second_site.pc)} races with "
+            f"{first_kind} by t{first_tid} at "
+            f"{first_site.label or hex(first_site.pc)}",
+            pc=second_site.pc, label=second_site.label,
+            line_va=byte & _LINE_MASK,
+            detail={"other_pc": first_site.pc,
+                    "other_label": first_site.label,
+                    "tids": (first_tid, second_tid)}))
+
+    # ------------------------------------------------------------------
+    # TMI PTSB commit ordering
+    # ------------------------------------------------------------------
+    def on_ptsb_commit(self, info):
+        tid = self._tid_for_core(info.get("core"))
+        if tid is None:
+            return
+        report = self.report
+        report.commits_checked += 1
+        clock = self._clock(tid)
+        epoch = clock.get(tid)
+        pid = info.get("pid")
+        shadow = self._commit_shadow
+        for start, end in info.get("spans", ()):
+            for byte in range(start, end):
+                previous = shadow.get(byte)
+                if previous is not None:
+                    ptid, pclock, ppid = previous
+                    if ppid != pid and not clock.covers(ptid, pclock):
+                        self._commit_violation(byte, ppid, ptid, pid,
+                                               tid)
+                shadow[byte] = (tid, epoch, pid)
+
+    def _commit_violation(self, byte, first_pid, first_tid, second_pid,
+                          second_tid):
+        key = (first_pid, second_pid, byte & _LINE_MASK)
+        if key in self._seen_commit_pairs:
+            return
+        self._seen_commit_pairs.add(key)
+        self.report.commit_violations.append(Finding(
+            "ptsb-commit-order", ERROR,
+            f"PTSB commit of byte {byte:#x} by process {second_pid} "
+            f"(t{second_tid}) is concurrent with an earlier commit by "
+            f"process {first_pid} (t{first_tid}): merge order is not "
+            f"happens-before justified",
+            line_va=byte & _LINE_MASK,
+            detail={"pids": (first_pid, second_pid),
+                    "tids": (first_tid, second_tid)}))
+
+    def _tid_for_core(self, core):
+        if core is None or self._engine is None:
+            return None
+        for thread in self._engine.threads.values():
+            if thread.core == core:
+                return thread.tid
+        return None

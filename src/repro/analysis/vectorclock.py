@@ -1,0 +1,41 @@
+"""Vector clocks for the happens-before race sanitizer.
+
+Thread ids are the clock dimensions.  Clocks are sparse dicts: the
+simulator spawns a handful of threads, but most sync objects only ever
+see a couple of them.
+"""
+
+
+class VectorClock:
+    """A sparse tid -> logical-clock map with join/compare."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, init=None):
+        self._clocks = dict(init) if init else {}
+
+    def get(self, tid):
+        return self._clocks.get(tid, 0)
+
+    def tick(self, tid):
+        """Advance ``tid``'s own component (a new epoch begins)."""
+        self._clocks[tid] = self._clocks.get(tid, 0) + 1
+
+    def join(self, other):
+        """Pointwise maximum with ``other`` (happens-before union)."""
+        mine = self._clocks
+        for tid, clock in other._clocks.items():
+            if clock > mine.get(tid, 0):
+                mine[tid] = clock
+
+    def covers(self, tid, clock):
+        """True when the epoch ``clock@tid`` happens-before this clock."""
+        return self._clocks.get(tid, 0) >= clock
+
+    def copy(self):
+        return VectorClock(self._clocks)
+
+    def __repr__(self):
+        inner = ", ".join(f"t{t}:{c}"
+                          for t, c in sorted(self._clocks.items()))
+        return f"<VC {inner}>"

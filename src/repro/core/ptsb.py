@@ -69,6 +69,7 @@ class PageTwinningStoreBuffer:
         total = 0
         pages = 0
         merged = 0
+        spans = [] if self.on_commit is not None else None
         for mapping, index, twin in self._twins.values():
             page_size = mapping.page_size
             state = mapping.pages[index]
@@ -82,6 +83,8 @@ class PageTwinningStoreBuffer:
             touched_lines = set()
             for start, end in changed:
                 physmem.write(shared_base + start, working[start:end])
+                if spans is not None:
+                    spans.append((shared_base + start, shared_base + end))
                 merged += end - start
                 total += int(costs.merge_per_byte * (end - start))
                 first = (shared_base + start) & ~(LINE_SIZE - 1)
@@ -109,8 +112,9 @@ class PageTwinningStoreBuffer:
         self.committed_pages += pages
         self.merged_bytes += merged
         if self.on_commit is not None:
-            self.on_commit({"pid": self.process.pid, "reason": reason,
-                            "pages": pages, "bytes": merged})
+            self.on_commit({"pid": self.process.pid, "core": core,
+                            "reason": reason, "pages": pages,
+                            "bytes": merged, "spans": spans})
         return total
 
     def _diff_cost(self, page_size, twin, working):

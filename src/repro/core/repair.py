@@ -85,7 +85,13 @@ class RepairManager:
             PageTwinningStoreBuffer(
                 process, self.engine.machine, self.engine.costs,
                 self.config.huge_commit_optimization,
-                on_commit=self.stats.note_commit)
+                on_commit=self._on_commit)
+
+    def _on_commit(self, info):
+        self.stats.note_commit(info)
+        observer = self.engine._observer
+        if observer is not None:
+            observer.on_ptsb_commit(info)
 
     def _protect_target(self, engine, target):
         from repro.sim.costs import PAGE_4K

@@ -8,6 +8,13 @@ interposition, consistency callbacks, sampling, and repair.
 The default implementations are no-ops so that a runtime only overrides
 what it changes — this is the code-level expression of TMI's
 compatible-by-default principle (section 3).
+
+Runtime hooks participate in simulation (they charge cycles and mutate
+state); passive instrumentation — the race sanitizer, the HITM
+ground-truth collector — attaches instead as an
+:class:`~repro.analysis.observer.EngineObserver` via
+``Engine.attach_observer``, which charges nothing and cannot perturb
+results.
 """
 
 from repro.sim.costs import PAGE_4K

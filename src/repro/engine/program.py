@@ -2,6 +2,11 @@
 
 from dataclasses import dataclass, field
 
+from repro.errors import InvalidProgramError
+
+#: Valid synchronization frequency classes.
+SYNC_RATES = ("low", "medium", "high")
+
 
 @dataclass
 class WorkloadFeatures:
@@ -24,6 +29,16 @@ class WorkloadFeatures:
     #: Synchronization frequency class: 'low' | 'medium' | 'high'.
     sync_rate: str = "low"
 
+    def __post_init__(self):
+        if self.sync_rate not in SYNC_RATES:
+            raise InvalidProgramError(
+                f"sync_rate must be one of {SYNC_RATES}, "
+                f"got {self.sync_rate!r}")
+        if self.footprint_bytes <= 0:
+            raise InvalidProgramError(
+                f"footprint_bytes must be positive, "
+                f"got {self.footprint_bytes}")
+
 
 @dataclass
 class Program:
@@ -40,6 +55,14 @@ class Program:
     env: dict = field(default_factory=dict)
     #: Optional ``validate(env, engine) -> None`` raising on bad output.
     validate: object = None
+
+    def __post_init__(self):
+        if not isinstance(self.nthreads, int) or self.nthreads <= 0:
+            raise InvalidProgramError(
+                f"nthreads must be a positive int, got {self.nthreads!r}")
+        if self.heap_bytes <= 0:
+            raise InvalidProgramError(
+                f"heap_bytes must be positive, got {self.heap_bytes}")
 
 
 @dataclass

@@ -54,6 +54,9 @@ class Engine:
         #: Service core for the monitor/detector (last core).
         self.service_core = self.machine.n_cores - 1
         self._finished = False
+        #: Analysis observer (repro.analysis); None keeps every
+        #: emission guard a single attribute test on the hot path.
+        self._observer = None
 
         # generic lock/barrier instruction sites (glibc text)
         self._lock_site = program.binary.site("atomic", 4, "pthread_lock")
@@ -110,11 +113,24 @@ class Engine:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def attach_observer(self, observer):
+        """Attach one analysis observer (see :mod:`repro.analysis`).
+
+        Must happen before :meth:`run`.  Observer callbacks charge no
+        cycles; with no observer attached none are emitted.
+        """
+        if self._observer is not None:
+            raise SimulationError("an observer is already attached")
+        self._observer = observer
+        observer.on_attach(self)
+
     def run(self):
         """Execute the program to completion; returns a RunResult."""
         main = self._create_thread(self.program.main, "main",
                                    self.root_process)
         self.runtime.on_thread_created(self, main)
+        if self._observer is not None:
+            self._observer.on_thread_create(None, main.tid)
         self._schedule(main, 0)
         while self._heap:
             ready_time, seq, tid = heapq.heappop(self._heap)
@@ -279,12 +295,21 @@ class Engine:
         self._schedule(thread, self.machine.core_clock[thread.core])
 
     def _finish_thread(self, thread):
+        if thread.region_stack:
+            kinds = [kind for kind, _ in thread.region_stack]
+            raise SimulationError(
+                f"{thread} exited with open region(s): {kinds}")
         thread.state = DONE
+        observer = self._observer
         self.runtime.on_thread_exit(self, thread)
+        if observer is not None:
+            observer.on_thread_exit(thread.tid)
         now = self.machine.core_clock[thread.core]
         for tid in thread.joiners:
             joiner = self.threads[tid]
             if joiner.state == BLOCKED:
+                if observer is not None:
+                    observer.on_hb_edge(thread.tid, tid)
                 extra = self.runtime.on_sync_acquired(self, joiner, None,
                                                       "join")
                 self._wake(joiner, now, extra)
@@ -329,6 +354,8 @@ class Engine:
         return cost, None, False
 
     def _exec_fence(self, thread, op):
+        if self._observer is not None:
+            self._observer.on_fence(thread.tid)
         return self.costs.fence, None, False
 
     def _exec_lock_op(self, thread, op):
@@ -357,6 +384,8 @@ class Engine:
     def _exec_thread_create(self, thread, op):
         child = self._create_thread(op.body, op.name, thread.process)
         self.runtime.on_thread_created(self, child)
+        if self._observer is not None:
+            self._observer.on_thread_create(thread.tid, child.tid)
         cost = 16_000                      # pthread_create
         start = self.machine.core_clock[thread.core] + cost
         self._schedule(child, start)
@@ -365,6 +394,8 @@ class Engine:
     def _exec_thread_join(self, thread, op):
         target = self.threads[op.tid]
         if target.state == DONE:
+            if self._observer is not None:
+                self._observer.on_hb_edge(target.tid, thread.tid)
             extra = self.runtime.on_sync_acquired(self, thread, None,
                                                   "join")
             return 2_000 + extra, None, False
@@ -391,6 +422,9 @@ class Engine:
         return translation.pa, translation.cost
 
     def _exec_load(self, thread, op):
+        if self._observer is not None:
+            self._observer.on_access(thread.tid, op.site, op.addr,
+                                     op.width, False, op.volatile)
         if self._rt_override:
             override = self.runtime.exec_access_override(self, thread, op)
             if override is not None:
@@ -405,6 +439,9 @@ class Engine:
         return cost + traffic, value, False
 
     def _exec_store(self, thread, op):
+        if self._observer is not None:
+            self._observer.on_access(thread.tid, op.site, op.addr,
+                                     op.width, True, op.volatile)
         if self._rt_override:
             override = self.runtime.exec_access_override(self, thread, op)
             if override is not None:
@@ -420,6 +457,18 @@ class Engine:
 
     def _exec_access(self, thread, op):
         """Atomic accesses (and the pre-fast-path generic fallback)."""
+        if self._observer is not None:
+            is_rmw = isinstance(op, O.AtomicRMW)
+            observed_write = is_rmw or isinstance(
+                op, (O.Store, O.AtomicStore))
+            if isinstance(op, (O.AtomicLoad, O.AtomicStore, O.AtomicRMW)):
+                self._observer.on_atomic(
+                    thread.tid, op.site, op.addr, op.width,
+                    observed_write, is_rmw, op.ordering)
+            else:
+                self._observer.on_access(
+                    thread.tid, op.site, op.addr, op.width,
+                    observed_write, op.volatile)
         if self._rt_override:
             override = self.runtime.exec_access_override(self, thread, op)
             if override is not None:
@@ -513,6 +562,7 @@ class Engine:
         next_tick = self._next_tick
         rt_translate = self._rt_translate
         rt_extra = self._rt_extra
+        observer = self._observer
         # LASER-style full interception needs the per-access op stream;
         # synthesize singles and take the unbatched path
         single_cls = (O.Store if is_write else O.Load) \
@@ -561,6 +611,9 @@ class Engine:
                     cost, loaded, _b = self._exec_load(thread, single)
                     values.append(loaded)
             else:
+                if observer is not None:
+                    observer.on_access(tid, op.site, addr, width,
+                                       is_write, op.volatile)
                 if rt_translate:
                     translation = runtime.translate(
                         self, thread, op, addr, width, is_write)
@@ -678,6 +731,8 @@ class Engine:
         cost += self._sync_traffic(thread, mutex)
         if mutex.owner_tid is None:
             mutex.owner_tid = thread.tid
+            if self._observer is not None:
+                self._observer.on_acquire(thread.tid, mutex)
             cost += self.runtime.on_sync_acquired(self, thread, mutex,
                                                   "lock")
             return cost, None, False
@@ -698,12 +753,17 @@ class Engine:
         cost = self.costs.mutex_fast
         cost += self.runtime.sync_cost_extra(self, thread, mutex)
         cost += self.runtime.on_sync_release(self, thread, mutex, "unlock")
+        observer = self._observer
+        if observer is not None:
+            observer.on_release(thread.tid, mutex)
         cost += self._sync_traffic(thread, mutex)
         release_time = self.machine.core_clock[thread.core] + cost
         if mutex.waiters:
             next_tid = mutex.waiters.pop(0)
             mutex.owner_tid = next_tid
             woken = self.threads[next_tid]
+            if observer is not None:
+                observer.on_acquire(next_tid, mutex)
             extra = self.runtime.on_sync_acquired(self, woken, mutex,
                                                   "lock")
             self._wake(woken, release_time, extra)
@@ -728,6 +788,8 @@ class Engine:
             thread.cycles += cost
             return 0, None, True
         release = max(at for _, at in barrier.arrived)
+        if self._observer is not None:
+            self._observer.on_barrier([tid for tid, _ in barrier.arrived])
         barrier.generation += 1
         arrivals, barrier.arrived = barrier.arrived, []
         for tid, _ in arrivals:
@@ -756,6 +818,9 @@ class Engine:
         cost += self.runtime.sync_cost_extra(self, thread, condvar)
         cost += self.runtime.on_sync_release(self, thread, condvar,
                                              "cond_wait")
+        observer = self._observer
+        if observer is not None:
+            observer.on_release(thread.tid, mutex)
         cost += self._sync_traffic(thread, condvar)
         release_time = self.machine.core_clock[thread.core] + cost
         # release the mutex (as _exec_unlock, without hook duplication)
@@ -763,6 +828,8 @@ class Engine:
             next_tid = mutex.waiters.pop(0)
             mutex.owner_tid = next_tid
             woken = self.threads[next_tid]
+            if observer is not None:
+                observer.on_acquire(next_tid, mutex)
             extra = self.runtime.on_sync_acquired(self, woken, mutex,
                                                   "lock")
             self._wake(woken, release_time, extra)
@@ -781,12 +848,17 @@ class Engine:
         cost += self.runtime.sync_cost_extra(self, thread, condvar)
         cost += self._sync_traffic(thread, condvar)
         signal_time = self.machine.core_clock[thread.core] + cost
+        observer = self._observer
         count = len(condvar.waiters) if broadcast else 1
         for _ in range(min(count, len(condvar.waiters))):
             tid, mutex = condvar.waiters.pop(0)
             waiter = self.threads[tid]
+            if observer is not None:
+                observer.on_hb_edge(thread.tid, tid)
             if mutex.owner_tid is None:
                 mutex.owner_tid = tid
+                if observer is not None:
+                    observer.on_acquire(tid, mutex)
                 extra = self.runtime.on_sync_acquired(
                     self, waiter, mutex, "lock")
                 extra += self.runtime.on_sync_acquired(

@@ -37,6 +37,15 @@ class AllocationError(ReproError):
     """The memory allocator could not satisfy a request."""
 
 
+class InvalidProgramError(ReproError):
+    """A Program or WorkloadFeatures declaration is malformed.
+
+    Raised at construction time — a bad ``sync_rate`` or non-positive
+    ``nthreads``/``heap_bytes`` should fail before a single simulated
+    cycle, not deep inside a run.
+    """
+
+
 class DeadlockError(SimulationError):
     """No runnable thread exists but unfinished threads remain."""
 

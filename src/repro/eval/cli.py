@@ -5,6 +5,9 @@ Regenerate any paper artifact without pytest::
     python -m repro.eval.cli figure9 --scale 1.0
     python -m repro.eval.cli table3
     python -m repro.eval.cli run histogramfs tmi-protect --scale 0.5
+    python -m repro.eval.cli run racy-flag pthreads --sanitize
+    python -m repro.eval.cli lint histogramfs
+    python -m repro.eval.cli lint all --scale 0.05
     python -m repro.eval.cli list
 """
 
@@ -31,6 +34,7 @@ EXPERIMENTS = {
     "ablation-alloc": experiments.ablation_allocator,
     "ablation-huge-commit": experiments.ablation_huge_commit,
     "ablation-code-centric": experiments.ablation_code_centric,
+    "lint-accuracy": experiments.lint_accuracy,
 }
 
 #: Experiments whose signature takes no scale.
@@ -59,6 +63,17 @@ def build_parser():
     run.add_argument("workload", choices=sorted(all_names()))
     run.add_argument("system", choices=sorted(SYSTEM_NAMES))
     run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--sanitize", action="store_true",
+                     help="attach the vector-clock race sanitizer "
+                          "(zero cycle impact); nonzero exit on races")
+
+    lint = sub.add_parser(
+        "lint", help="statically lint workload(s); no simulation")
+    lint.add_argument("workload", choices=sorted(all_names()) + ["all"])
+    lint.add_argument("--scale", type=float, default=0.1)
+    lint.add_argument("--variant", default=None,
+                      help="force a build variant (default/fixed); "
+                           "defaults to each workload's canonical build")
 
     sub.add_parser("list", help="list workloads and systems")
     return parser
@@ -72,9 +87,26 @@ def main(argv=None):
         print("systems:  ", ", ".join(SYSTEM_NAMES))
         return 0
 
+    if args.command == "lint":
+        from repro.analysis import lint_workload
+        names = (sorted(all_names()) if args.workload == "all"
+                 else [args.workload])
+        failed = 0
+        for name in names:
+            report = lint_workload(name, scale=args.scale,
+                                   variant=args.variant)
+            print(report.format())
+            if not report.ok:
+                failed += 1
+        if len(names) > 1:
+            print(f"linted {len(names)} workloads, "
+                  f"{failed} with errors")
+        return 1 if failed else 0
+
     if args.command == "run":
         outcome = run_workload(args.workload, args.system,
-                               scale=args.scale)
+                               scale=args.scale,
+                               sanitize=args.sanitize)
         print(f"{args.workload} under {args.system}: {outcome.status}")
         if outcome.result is not None:
             result = outcome.result
@@ -89,6 +121,10 @@ def main(argv=None):
                 print(f"  report  : {result.runtime_report}")
         if outcome.detail:
             print(f"  detail  : {outcome.detail}")
+        if outcome.analysis is not None:
+            print(outcome.analysis.format())
+            if not outcome.analysis.ok:
+                return 1
         return 0 if outcome.ok else 1
 
     fn = EXPERIMENTS[args.command]

@@ -444,3 +444,58 @@ def ablation_code_centric(scale=0.6, workload="shptr-relaxed"):
                         title="Ablation: code-centric consistency on "
                               f"{workload}")
     return ExperimentResult("ablation_code_centric", data, text)
+
+
+# ----------------------------------------------------------------------
+# Lint accuracy: static predictions vs simulated HITM ground truth
+# ----------------------------------------------------------------------
+def lint_accuracy(scale=0.1, workloads=None):
+    """Score the static linter's false-sharing predictions per workload.
+
+    Ground truth is a pthreads simulation with the HITM listener
+    recording every inter-core sharing event (no sampling), classified
+    with the same byte-overlap rule the linter uses.  Lint and ground
+    truth run at the same scale so their traces cover the same
+    iteration space.
+    """
+    from repro.analysis.ground_truth import (collect_ground_truth,
+                                             precision_recall)
+    from repro.analysis.lint import lint_workload
+    from repro.eval.report import precision_recall_table
+    from repro.workloads import get as get_workload
+
+    names = list(workloads) if workloads else repair_suite_names()
+    rows = []
+    data = {"workloads": {}, "scale": scale}
+    total_tp = total_fp = total_fn = 0
+    for name in names:
+        lint = lint_workload(name, scale=scale)
+        truth = collect_ground_truth(get_workload(name, scale=scale))
+        precision, recall, tp, fp, fn = precision_recall(
+            lint.predicted_false, truth.false_lines)
+        total_tp += tp
+        total_fp += fp
+        total_fn += fn
+        data["workloads"][name] = {
+            "predicted": len(lint.predicted_false),
+            "ground_truth": len(truth.false_lines),
+            "tp": tp, "fp": fp, "fn": fn,
+            "precision": precision, "recall": recall,
+            "hitm_samples": truth.hitm_count,
+        }
+        rows.append((name, len(lint.predicted_false),
+                     len(truth.false_lines), tp, fp, fn, precision,
+                     recall))
+    overall_p = (total_tp / (total_tp + total_fp)
+                 if total_tp + total_fp else 1.0)
+    overall_r = (total_tp / (total_tp + total_fn)
+                 if total_tp + total_fn else 1.0)
+    data["precision"] = overall_p
+    data["recall"] = overall_r
+    rows.append(("OVERALL", "", "", total_tp, total_fp, total_fn,
+                 overall_p, overall_r))
+    text = precision_recall_table(
+        rows,
+        title="Lint accuracy: static false-sharing prediction vs "
+              "simulated HITM ground truth")
+    return ExperimentResult("lint_accuracy", data, text)

@@ -26,6 +26,19 @@ def _fmt(value):
     return str(value)
 
 
+def precision_recall_table(rows, title=""):
+    """Fig-4-style accuracy table for static-analysis predictions.
+
+    ``rows`` are (workload, predicted, truth, tp, fp, fn, precision,
+    recall) tuples, as produced by
+    :func:`repro.analysis.ground_truth.precision_recall`.
+    """
+    return format_table(
+        ["workload", "predicted", "ground-truth", "tp", "fp", "fn",
+         "precision", "recall"],
+        rows, title=title)
+
+
 def geomean(values):
     """Geometric mean of positive values (the paper's averaging)."""
     values = [v for v in values if v and v > 0]

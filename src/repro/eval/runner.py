@@ -28,6 +28,8 @@ class RunOutcome:
     status: str
     result: object = None          # RunResult when status != incompatible
     detail: str = ""
+    #: RaceReport when the run was sanitized (``sanitize=True``).
+    analysis: object = None
 
     @property
     def ok(self):
@@ -39,9 +41,15 @@ class RunOutcome:
 
 
 def run_workload(name, system, scale=1.0, config=None, variant=None,
-                 nthreads=None):
+                 nthreads=None, sanitize=False):
     """Run one workload under one system; never raises for the failure
-    modes the paper studies."""
+    modes the paper studies.
+
+    ``sanitize=True`` attaches the vector-clock race sanitizer; its
+    :class:`~repro.analysis.race.RaceReport` lands on the outcome's
+    ``analysis`` field (simulation results are unaffected — observer
+    callbacks charge no cycles).
+    """
     workload = get_workload(name, scale=scale, nthreads=nthreads)
     program = workload.build(variant or workload_variant(system))
     runtime = make_runtime(system, config)
@@ -49,16 +57,24 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
         engine = Engine(program, runtime)
     except IncompatibleWorkloadError as exc:
         return RunOutcome(name, system, INCOMPATIBLE, detail=exc.reason)
+    sanitizer = None
+    if sanitize:
+        from repro.analysis import RaceSanitizer
+        sanitizer = RaceSanitizer()
+        engine.attach_observer(sanitizer)
+    report = sanitizer.report if sanitizer else None
     try:
         result = engine.run()
     except HangError as exc:
-        return RunOutcome(name, system, HANG, detail=str(exc))
+        return RunOutcome(name, system, HANG, detail=str(exc),
+                          analysis=report)
     except (DeadlockError, AssertionError) as exc:
-        return RunOutcome(name, system, INVALID, detail=str(exc))
+        return RunOutcome(name, system, INVALID, detail=str(exc),
+                          analysis=report)
     if not result.validated:
         return RunOutcome(name, system, INVALID, result=result,
-                          detail=result.error)
-    return RunOutcome(name, system, OK, result=result)
+                          detail=result.error, analysis=report)
+    return RunOutcome(name, system, OK, result=result, analysis=report)
 
 
 def run_matrix(workloads, systems, scale=1.0, config=None, jobs=None):

@@ -12,6 +12,10 @@ simulator's ground truth.
 
 from dataclasses import dataclass
 
+#: Distinguishes "never looked up" from a cached negative decode, so
+#: repeated bogus-skid PCs cost one dict probe instead of two.
+_MISS = object()
+
 
 @dataclass(frozen=True)
 class DecodedInstr:
@@ -34,8 +38,9 @@ class Disassembler:
     def decode(self, pc):
         """Decode one PC; returns None for addresses outside the text
         segment (e.g. JIT pages or bogus PEBS skid)."""
-        if pc in self._cache:
-            return self._cache[pc]
+        decoded = self._cache.get(pc, _MISS)
+        if decoded is not _MISS:
+            return decoded
         site = self._binary.lookup(pc)
         if site is None:
             decoded = None

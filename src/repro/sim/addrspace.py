@@ -357,7 +357,8 @@ class AddressSpace:
             state.touched = True
             kind = "shared_file" if mapping.backing.file_backed else "anon"
             result.cost += (self.costs.fault_shared_file
-                            if kind == "shared_file" else self.costs.fault_anon)
+                            if kind == "shared_file"
+                            else self.costs.fault_anon)
             result.faults.append((kind, mapping.start
                                   + index * mapping.page_size,
                                   mapping.page_size))

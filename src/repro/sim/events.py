@@ -52,4 +52,4 @@ class CommitEvent:
     tid: int
     pages: int
     bytes_merged: int
-    reason: str            # 'lock' | 'unlock' | 'barrier' | 'atomic' | 'asm' | 'exit'
+    reason: str  # 'lock' | 'unlock' | 'barrier' | 'atomic' | 'asm' | 'exit'

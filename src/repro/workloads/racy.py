@@ -1,0 +1,95 @@
+"""Deliberately racy micro-workload: the sanitizer's positive control.
+
+A producer fills a payload buffer with plain stores and then raises a
+C-``volatile`` flag; a consumer spins on the flag and reads the
+payload.  ``volatile`` is not a synchronization primitive: it keeps the
+compiler from caching the flag but establishes no happens-before, so
+the payload accesses race (the classic broken double-checked handoff).
+The ``fixed`` variant inserts full fences on both sides of the handoff,
+which the simulator models as globally ordered — that is the
+race-free companion the sanitizer must pass.
+
+The race is benign under the simulator's sequential interleaving (the
+payload values always arrive), so the run itself succeeds either way;
+only the vector-clock analysis tells the variants apart.
+"""
+
+from repro.workloads.base import DEFAULT, MB, Workload
+
+
+class RacyFlag(Workload):
+    """Volatile-flag payload handoff, fence-free by default."""
+
+    name = "racy-flag"
+    suite = "micro"
+    nthreads = 2
+    footprint = 1 * MB
+    uses_volatile_flags = True
+    has_true_sharing = True
+    payload_words = 32
+    rounds = 6
+    max_spins = 50_000
+
+    def body(self, binary, env, variant):
+        ld = binary.load_site("payload_read", 8)
+        st = binary.store_site("payload_write", 8)
+        ld_f = binary.load_site("flag_read", 4)
+        st_f = binary.store_site("flag_write", 4)
+        fenced = variant != DEFAULT
+        words = self.payload_words
+        rounds = self.iters(self.rounds)
+        max_spins = self.max_spins
+
+        def main(t):
+            buf = yield from t.malloc(4096, align=64)
+            payload = buf                 # one line per round, below
+            flag = buf + 2048             # far from every payload line
+            env["payload"] = payload
+            env["rounds"] = rounds
+
+            def producer(w):
+                for r in range(rounds):
+                    base = payload + (r % 8) * 256
+                    for i in range(words):
+                        yield from w.store(base + i * 8, r * 100 + i, 8,
+                                           site=st)
+                    if fenced:
+                        yield from w.fence()
+                    yield from w.volatile_store(flag, r + 1, 4,
+                                                site=st_f)
+
+            def consumer(w):
+                total = 0
+                for r in range(rounds):
+                    yield from w.spin_while_equal(
+                        flag, r, 4, site=ld_f, max_spins=max_spins)
+                    if fenced:
+                        yield from w.fence()
+                    base = payload + (r % 8) * 256
+                    for i in range(words):
+                        value = yield from w.load(base + i * 8, 8,
+                                                  site=ld)
+                        total += value
+                env["consumed"] = total
+
+            tid0 = yield from t.spawn(producer, "producer")
+            tid1 = yield from t.spawn(consumer, "consumer")
+            yield from t.join(tid0)
+            yield from t.join(tid1)
+            env["completed"] = True
+
+        return main
+
+    def validate(self, env, engine):
+        assert env.get("completed"), "racy-flag did not complete"
+        rounds = env["rounds"]
+        words = self.payload_words
+        expected = sum((r * 100 + i) for r in range(rounds)
+                       for i in range(words))
+        assert env.get("consumed") == expected, (
+            f"consumer read {env.get('consumed')} != {expected}")
+
+    def build(self, variant=DEFAULT):
+        program = super().build(variant)
+        program.nthreads = 2
+        return program

@@ -1,10 +1,11 @@
 """Workload registry: every Figure 7 column plus the correctness-only
-cholesky kernel."""
+cholesky kernel and the racy-flag sanitizer control."""
 
 from repro.workloads.apps import LevelDB
 from repro.workloads.boost import MICROS
 from repro.workloads.parsec import PARSEC
 from repro.workloads.phoenix import PHOENIX
+from repro.workloads.racy import RacyFlag
 from repro.workloads.splash2x import Cholesky, SPLASH2X
 
 #: The nine workloads of Figure 9 (automatic repair), in paper order.
@@ -20,6 +21,7 @@ def _build_registry():
         registry[workload.name] = cls
     registry["leveldb"] = LevelDB
     registry["cholesky"] = Cholesky
+    registry["racy-flag"] = RacyFlag
     return registry
 
 
@@ -51,4 +53,4 @@ def repair_suite_names():
 
 
 def all_names():
-    return figure7_names() + ["leveldb-fs", "cholesky"]
+    return figure7_names() + ["leveldb-fs", "cholesky", "racy-flag"]

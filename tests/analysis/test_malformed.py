@@ -1,0 +1,114 @@
+"""Malformed op streams: the engine rejects them at runtime and the
+linter flags the same defects statically, without simulating."""
+
+import pytest
+
+from repro.analysis import ERROR, lint_program
+from repro.engine import Program
+from repro.errors import DeadlockError, SimulationError
+from repro.isa import Binary
+
+from helpers import run_program
+
+
+def _rules(report, severity=None):
+    return [f.rule for f in report.findings
+            if severity is None or f.severity == severity]
+
+
+class TestUnbalancedRegion:
+    @staticmethod
+    def _main(t):
+        yield from t.asm_begin()
+        yield from t.compute(10)
+        # exits with the asm region still open
+
+    def test_engine_raises(self):
+        with pytest.raises(SimulationError, match="open region"):
+            run_program(self._main, nthreads=1)
+
+    def test_linter_flags_statically(self):
+        program = Program("openregion", Binary("openregion"), self._main,
+                          nthreads=1)
+        report = lint_program(program)
+        assert "region-nesting" in _rules(report, ERROR), report.format()
+
+
+class TestUnlockWithoutLock:
+    @staticmethod
+    def _main(t):
+        mutex = yield from t.mutex("m")
+        yield from t.unlock(mutex)
+
+    def test_engine_raises(self):
+        with pytest.raises(SimulationError, match="unlock"):
+            run_program(self._main, nthreads=1)
+
+    def test_linter_flags_statically(self):
+        program = Program("badunlock", Binary("badunlock"), self._main,
+                          nthreads=1)
+        report = lint_program(program)
+        assert "lock-pairing" in _rules(report, ERROR), report.format()
+
+
+class TestBarrierMismatch:
+    @staticmethod
+    def _main(t):
+        # Barrier sized for 3 parties but only 2 threads ever arrive.
+        barrier = yield from t.barrier(3, "b")
+
+        def worker(w):
+            yield from w.barrier_wait(barrier)
+
+        tid = yield from t.spawn(worker, "w0")
+        yield from t.barrier_wait(barrier)
+        yield from t.join(tid)
+
+    def test_engine_deadlocks(self):
+        with pytest.raises(DeadlockError):
+            run_program(self._main, nthreads=2)
+
+    def test_linter_flags_statically(self):
+        program = Program("badbarrier", Binary("badbarrier"), self._main,
+                          nthreads=2)
+        report = lint_program(program)
+        assert "barrier-mismatch" in _rules(report, ERROR), report.format()
+
+
+class TestLayoutChecks:
+    def test_line_straddle_is_flagged(self):
+        binary = Binary("straddle")
+        st = binary.store_site("st", 8)
+
+        def main(t):
+            buf = yield from t.malloc(128, align=64)
+            yield from t.store(buf + 60, 1, 8, site=st)
+
+        program = Program("straddle", binary, main, nthreads=1)
+        report = lint_program(program)
+        assert "line-straddle" in _rules(report, ERROR), report.format()
+
+    def test_width_mismatch_is_flagged(self):
+        binary = Binary("width")
+        st = binary.store_site("st", 8)
+
+        def main(t):
+            buf = yield from t.malloc(64, align=64)
+            yield from t.store(buf, 1, 4, site=st)
+
+        program = Program("width", binary, main, nthreads=1)
+        report = lint_program(program)
+        assert "access-width-mismatch" in _rules(report), report.format()
+
+    def test_store_through_load_site_is_flagged(self):
+        binary = Binary("kind")
+        ld = binary.load_site("ld", 8)
+
+        def main(t):
+            buf = yield from t.malloc(64, align=64)
+            yield from t.store(buf, 1, 8, site=ld)
+
+        program = Program("kind", binary, main, nthreads=1)
+        report = lint_program(program)
+        assert "access-kind-mismatch" in _rules(report, ERROR), \
+            report.format()

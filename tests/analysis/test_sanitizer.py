@@ -1,0 +1,77 @@
+"""Vector-clock race sanitizer: positive control, race-free suite,
+PTSB commit ordering, and cycle neutrality."""
+
+import pytest
+
+from repro.analysis.vectorclock import VectorClock
+from repro.eval.runner import run_workload
+
+#: Workloads with no data races (synchronised or disjoint accesses).
+RACE_FREE = ("histogramfs", "lreg", "kmeans", "spinlockpool",
+             "shptr-relaxed", "cholesky")
+
+
+class TestVectorClock:
+    def test_tick_join_covers(self):
+        a, b = VectorClock(), VectorClock()
+        a.tick(1)
+        a.tick(1)
+        b.tick(2)
+        assert a.covers(1, 2) and not a.covers(1, 3)
+        assert not a.covers(2, 1)
+        a.join(b)
+        assert a.covers(2, 1)
+
+    def test_copy_is_independent(self):
+        a = VectorClock()
+        a.tick(1)
+        b = a.copy()
+        b.tick(1)
+        assert a.covers(1, 1) and not a.covers(1, 2)
+        assert b.covers(1, 2)
+
+
+class TestPositiveControl:
+    """racy-flag publishes through a volatile flag with no fence."""
+
+    def test_default_variant_is_flagged(self):
+        outcome = run_workload("racy-flag", "pthreads", sanitize=True)
+        report = outcome.analysis
+        assert report is not None and not report.ok
+        assert any(f.rule == "data-race" for f in report.findings)
+        # Both sides of the race carry their InstrSite labels.
+        race = report.races[0]
+        assert "payload" in race.message
+
+    def test_fenced_variant_is_clean(self):
+        outcome = run_workload("racy-flag", "pthreads", variant="fixed",
+                               sanitize=True)
+        assert outcome.ok
+        assert outcome.analysis.ok, outcome.analysis.format()
+
+
+class TestRaceFreeSuite:
+    @pytest.mark.parametrize("system", ("pthreads", "tmi-protect"))
+    @pytest.mark.parametrize("name", RACE_FREE)
+    def test_no_races_reported(self, name, system):
+        outcome = run_workload(name, system, scale=0.05, sanitize=True)
+        report = outcome.analysis
+        assert report.races == [], report.format()
+        assert report.commit_violations == [], report.format()
+
+    def test_tmi_commits_are_actually_checked(self):
+        outcome = run_workload("histogramfs", "tmi-protect", scale=0.05,
+                               sanitize=True)
+        assert outcome.analysis.commits_checked > 0
+
+
+class TestCycleNeutrality:
+    """Attaching the sanitizer must not perturb the simulation."""
+
+    @pytest.mark.parametrize("system", ("pthreads", "tmi-protect"))
+    def test_cycles_identical_with_and_without(self, system):
+        plain = run_workload("histogramfs", system, scale=0.05)
+        traced = run_workload("histogramfs", system, scale=0.05,
+                              sanitize=True)
+        assert plain.cycles == traced.cycles
+        assert plain.result.hitm_total == traced.result.hitm_total

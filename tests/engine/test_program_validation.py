@@ -1,0 +1,45 @@
+"""Program/WorkloadFeatures construction-time validation."""
+
+import pytest
+
+from repro.engine import Program
+from repro.engine.program import SYNC_RATES, WorkloadFeatures
+from repro.errors import InvalidProgramError, ReproError
+from repro.isa import Binary
+
+
+def _main(t):
+    yield from t.compute(1)
+
+
+class TestProgramValidation:
+    def test_valid_program_constructs(self):
+        program = Program("ok", Binary("ok"), _main, nthreads=4)
+        assert program.nthreads == 4
+
+    @pytest.mark.parametrize("nthreads", (0, -1, 2.0, "4"))
+    def test_bad_nthreads_rejected(self, nthreads):
+        with pytest.raises(InvalidProgramError):
+            Program("bad", Binary("bad"), _main, nthreads=nthreads)
+
+    def test_nonpositive_heap_rejected(self):
+        with pytest.raises(InvalidProgramError):
+            Program("bad", Binary("bad"), _main, nthreads=1,
+                    heap_bytes=0)
+
+    def test_invalid_program_error_is_repro_error(self):
+        assert issubclass(InvalidProgramError, ReproError)
+
+
+class TestWorkloadFeaturesValidation:
+    @pytest.mark.parametrize("rate", SYNC_RATES)
+    def test_known_sync_rates_accepted(self, rate):
+        assert WorkloadFeatures(sync_rate=rate).sync_rate == rate
+
+    def test_unknown_sync_rate_rejected(self):
+        with pytest.raises(InvalidProgramError, match="sync_rate"):
+            WorkloadFeatures(sync_rate="bursty")
+
+    def test_nonpositive_footprint_rejected(self):
+        with pytest.raises(InvalidProgramError):
+            WorkloadFeatures(footprint_bytes=0)

@@ -69,3 +69,32 @@ class TestDisassembler:
             binary.load_site(f"l{i}", 8)
         table = Disassembler(binary).analyze_all()
         assert len(table) == 10
+
+    def test_negative_lookups_are_cached(self):
+        """PEBS skid lands on bogus PCs repeatedly; the miss must be
+        cached so repeat decodes never re-probe the binary."""
+        binary = Binary("b")
+        disasm = Disassembler(binary)
+        assert disasm.decode(0xDEAD) is None
+        lookups = []
+        original = binary.lookup
+
+        def counting_lookup(pc):
+            lookups.append(pc)
+            return original(pc)
+
+        binary.lookup = counting_lookup
+        assert disasm.decode(0xDEAD) is None
+        assert lookups == []
+
+    def test_positive_lookups_are_cached(self):
+        binary = Binary("b")
+        site = binary.load_site("ld", 8)
+        disasm = Disassembler(binary)
+        first = disasm.decode(site.pc)
+
+        def failing_lookup(pc):
+            pytest.fail("cache miss")
+
+        binary.lookup = failing_lookup
+        assert disasm.decode(site.pc) is first
