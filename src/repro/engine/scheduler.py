@@ -10,6 +10,13 @@ cycle cost advances that thread's core clock.  Blocking (locks,
 barriers, joins) parks threads off the ready heap; stop-the-world
 requests (the monitor's ptrace attach) park every thread at its next op
 boundary — exactly where a real signal stop would land.
+
+A :class:`~repro.schedule.SchedulePolicy` passed as ``policy=`` makes
+the thread-selection decision pluggable: at every op boundary the
+policy picks the next thread from the full runnable set, the engine
+records the decision, and the log replays any interleaving exactly
+(see :mod:`repro.schedule`).  With no policy the engine takes the
+original heap-driven fast path, untouched.
 """
 
 import heapq
@@ -20,16 +27,22 @@ from repro.engine.hooks import RuntimeHooks
 from repro.engine.program import RunResult
 from repro.engine.thread import (BLOCKED, DONE, PARKED, READY, SimProcess,
                                  SimThread)
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import CycleBudgetError, DeadlockError, SimulationError
 from repro.isa import ops as O
 from repro.sync.objects import Barrier, Condvar, Mutex
+
+
+def _ready_order(thread):
+    """Candidate sort key: the heap's (ready_time, seq) order, so index
+    0 is always the thread the default scheduler would run."""
+    return (thread.ready_time, thread.seq)
 
 
 class Engine:
     """Executes one program under one runtime on one machine."""
 
     def __init__(self, program, runtime, machine=None, n_cores=None,
-                 costs=None, max_cycles=200_000_000_000):
+                 costs=None, max_cycles=200_000_000_000, policy=None):
         from repro.sim.machine import Machine
         if n_cores is None:
             n_cores = program.nthreads + 2
@@ -38,6 +51,16 @@ class Engine:
         self.program = program
         self.runtime = runtime
         self.max_cycles = max_cycles
+        #: Schedule policy (repro.schedule); None keeps the heap-driven
+        #: fast path with zero per-op overhead.
+        self.policy = policy
+        self._policy_notify = (policy is not None
+                               and getattr(policy, "wants_op_events",
+                                           False))
+        #: Decision log: chosen index into the runnable candidate list
+        #: (sorted by ready time, then seq) at every point where more
+        #: than one thread was runnable.  Only populated in policy mode.
+        self.schedule_decisions = []
 
         self.threads = {}
         self.processes = {}
@@ -132,6 +155,18 @@ class Engine:
         if self._observer is not None:
             self._observer.on_thread_create(None, main.tid)
         self._schedule(main, 0)
+        if self.policy is not None:
+            self._run_policy_loop()
+        else:
+            self._run_heap_loop()
+        unfinished = [t.tid for t in self.threads.values()
+                      if t.state != DONE]
+        if unfinished:
+            raise DeadlockError(unfinished)
+        return self.finish()
+
+    def _run_heap_loop(self):
+        """The original heap-driven scheduling loop (fast path)."""
         while self._heap:
             ready_time, seq, tid = heapq.heappop(self._heap)
             thread = self.threads[tid]
@@ -144,13 +179,57 @@ class Engine:
             if self._next_tick is not None:
                 self._run_ticks()
             if self.machine.now > self.max_cycles:
-                raise SimulationError(
-                    f"cycle budget exceeded ({self.machine.now})")
-        unfinished = [t.tid for t in self.threads.values()
-                      if t.state != DONE]
-        if unfinished:
-            raise DeadlockError(unfinished)
-        return self.finish()
+                raise CycleBudgetError(self.machine.now, self.max_cycles,
+                                       trace=self.schedule_trace())
+
+    def _run_policy_loop(self):
+        """Policy-driven scheduling: the policy picks the next thread
+        from the full runnable set at every op boundary, and the engine
+        records the decision.
+
+        Stale heap entries accumulate here (the loop selects from the
+        thread table, not the heap); :meth:`_run_accesses` drains them
+        opportunistically, and every access run yields after a single
+        access so each one is an enumerable decision point.
+        """
+        policy = self.policy
+        policy.reset(self)
+        decisions = self.schedule_decisions
+        threads = self.threads
+        while True:
+            candidates = [t for t in threads.values() if t.state == READY]
+            if not candidates:
+                break
+            candidates.sort(key=_ready_order)
+            if self._stop_world:
+                for thread in candidates:
+                    self._park(thread, thread.ready_time)
+                continue
+            if len(candidates) == 1:
+                thread = candidates[0]
+            else:
+                index = policy.choose(candidates)
+                if not 0 <= index < len(candidates):
+                    raise SimulationError(
+                        f"policy {policy.name} chose index {index} of "
+                        f"{len(candidates)} candidates")
+                decisions.append(index)
+                thread = candidates[index]
+            self._dispatch(thread, thread.ready_time)
+            if self._next_tick is not None:
+                self._run_ticks()
+            if self.machine.now > self.max_cycles:
+                raise CycleBudgetError(self.machine.now, self.max_cycles,
+                                       trace=self.schedule_trace())
+
+    def schedule_trace(self):
+        """Snapshot of the schedule decisions made so far, or None for
+        default (policy-less) runs, which record nothing."""
+        if self.policy is None:
+            return None
+        return {"policy": self.policy.name,
+                "seed": getattr(self.policy, "seed", None),
+                "decisions": list(self.schedule_decisions)}
 
     def finish(self):
         """Teardown and result collection."""
@@ -274,6 +353,8 @@ class Engine:
         if thread.run_op is not None:
             # resume an in-flight AccessRun without re-entering the
             # generator
+            if self._policy_notify:
+                self.policy.notify_op(thread.tid, "AccessRun")
             self._run_accesses(thread)
             return
         try:
@@ -283,6 +364,8 @@ class Engine:
             return
         thread.pending_value = None
         thread.ops += 1
+        if self._policy_notify:
+            self.policy.notify_op(thread.tid, op.__class__.__name__)
         handler = self._exec_table.get(op.__class__)
         if handler is None:
             raise SimulationError(f"unknown op {op!r}")
@@ -658,6 +741,12 @@ class Engine:
             if index >= count:
                 break
             # --- would the serial engine have switched away here? ---
+            if self.policy is not None:
+                # policy mode: every access is a decision point.  Under
+                # the default policy this is schedule-identical to the
+                # batched path — re-dispatching resumes the run at the
+                # same clock — so cycle counts don't move.
+                break
             if self._stop_world:
                 break
             now = clock if clock > others_max else others_max

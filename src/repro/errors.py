@@ -46,6 +46,23 @@ class InvalidProgramError(ReproError):
     """
 
 
+class CycleBudgetError(SimulationError):
+    """The engine's ``max_cycles`` budget was exhausted.
+
+    Carries the partial schedule trace (policy name, seed, and the
+    decision log up to the point of exhaustion) so a livelocking
+    fuzzed interleaving becomes a replayable artifact instead of a
+    hang.  ``trace`` is None for default-scheduled runs, which record
+    no decisions.
+    """
+
+    def __init__(self, now, budget, trace=None):
+        self.now = now
+        self.budget = budget
+        self.trace = trace
+        super().__init__(f"cycle budget exceeded ({now} > {budget})")
+
+
 class DeadlockError(SimulationError):
     """No runnable thread exists but unfinished threads remain."""
 

@@ -8,6 +8,9 @@ Regenerate any paper artifact without pytest::
     python -m repro.eval.cli run racy-flag pthreads --sanitize
     python -m repro.eval.cli lint histogramfs
     python -m repro.eval.cli lint all --scale 0.05
+    python -m repro.eval.cli fuzz --seeds 16 --budget 60
+    python -m repro.eval.cli fuzz racy-flag --policy pct --seeds 32
+    python -m repro.eval.cli replay results/fuzz/racy-flag-....json
     python -m repro.eval.cli list
 """
 
@@ -75,6 +78,36 @@ def build_parser():
                       help="force a build variant (default/fixed); "
                            "defaults to each workload's canonical build")
 
+    fuzz = sub.add_parser(
+        "fuzz", help="fuzz schedules; no workload = bounded CI smoke "
+                     "(positive + negative control)")
+    fuzz.add_argument("workload", nargs="?", default=None,
+                      choices=sorted(all_names()),
+                      help="workload to fuzz (omit for smoke mode)")
+    fuzz.add_argument("--system", default="pthreads",
+                      choices=sorted(SYSTEM_NAMES))
+    fuzz.add_argument("--policy", default="random",
+                      help="perturbation policy: default/random/pct/delay")
+    fuzz.add_argument("--seeds", type=int, default=16)
+    fuzz.add_argument("--scale", type=float, default=0.1)
+    fuzz.add_argument("--budget", type=float, default=None,
+                      help="wall-clock budget in seconds (smoke default 60)")
+    fuzz.add_argument("--max-cycles", type=int, default=None,
+                      help="simulated-cycle budget per run (default: "
+                           "25x the default schedule)")
+    fuzz.add_argument("--variant", default=None)
+    fuzz.add_argument("--nthreads", type=int, default=None)
+    fuzz.add_argument("--no-sanitize", action="store_true",
+                      help="skip the race sanitizer (final-state "
+                           "oracle only)")
+    fuzz.add_argument("--out-dir", default=None,
+                      help="artifact directory (default results/fuzz)")
+    fuzz.add_argument("--jobs", type=int, default=None)
+
+    replay = sub.add_parser(
+        "replay", help="re-execute a recorded schedule trace artifact")
+    replay.add_argument("artifact", help="path to a ScheduleTrace JSON")
+
     sub.add_parser("list", help="list workloads and systems")
     return parser
 
@@ -126,6 +159,39 @@ def main(argv=None):
             if not outcome.analysis.ok:
                 return 1
         return 0 if outcome.ok else 1
+
+    if args.command == "fuzz":
+        from repro.schedule import fuzz_workload, smoke_fuzz
+        if args.jobs is not None:
+            os.environ["REPRO_JOBS"] = str(args.jobs)
+        if args.workload is None:
+            result = smoke_fuzz(seeds=args.seeds,
+                                budget=args.budget or 60.0,
+                                jobs=args.jobs, out_dir=args.out_dir)
+            print("\n".join(result.summary_lines()))
+            return 0 if result.ok else 1
+        report = fuzz_workload(
+            args.workload, system=args.system, policy=args.policy,
+            seeds=args.seeds, scale=args.scale, nthreads=args.nthreads,
+            variant=args.variant, max_cycles=args.max_cycles,
+            budget=args.budget, jobs=args.jobs, out_dir=args.out_dir,
+            sanitize=not args.no_sanitize)
+        print("\n".join(report.summary_lines()))
+        return 0 if report.ok else 1
+
+    if args.command == "replay":
+        from repro.schedule import replay_trace
+        result = replay_trace(args.artifact)
+        trace = result.trace
+        print(f"replay {trace.workload}/{trace.system} "
+              f"policy={trace.policy} seed={trace.seed} "
+              f"({len(trace.decisions)} decisions)")
+        print(f"  outcome : {result.outcome.status}"
+              + (f" ({result.outcome.detail})"
+                 if result.outcome.detail else ""))
+        print(f"  {result.detail()}")
+        print("  reproduced" if result.matches else "  DID NOT reproduce")
+        return 0 if result.matches else 1
 
     fn = EXPERIMENTS[args.command]
     kwargs = {}

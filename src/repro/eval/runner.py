@@ -2,13 +2,17 @@
 
 Failures are first-class results: Sheriff refusing a native input,
 hanging on cholesky, or corrupting canneal are *findings* the paper
-reports, not harness errors.
+reports, not harness errors.  The same applies to schedule fuzzing:
+``schedule=`` runs the cell under a perturbation policy (see
+:mod:`repro.schedule`) and a livelocking interleaving comes back as a
+``budget`` outcome carrying its decision log, not as a hang of the
+harness.
 """
 
 from dataclasses import dataclass
 
 from repro.engine import Engine
-from repro.errors import (DeadlockError, HangError,
+from repro.errors import (CycleBudgetError, DeadlockError, HangError,
                           IncompatibleWorkloadError)
 from repro.eval.systems import make_runtime, workload_variant
 from repro.workloads import get as get_workload
@@ -17,6 +21,9 @@ OK = "ok"
 INCOMPATIBLE = "incompatible"
 HANG = "hang"
 INVALID = "invalid"
+DEADLOCK = "deadlock"
+#: The engine's max_cycles budget ran out (livelocking schedule).
+BUDGET = "budget"
 
 
 @dataclass
@@ -30,6 +37,11 @@ class RunOutcome:
     detail: str = ""
     #: RaceReport when the run was sanitized (``sanitize=True``).
     analysis: object = None
+    #: Schedule decision-log snapshot ({policy, seed, decisions}) when
+    #: the run was policy-scheduled (``schedule=``); None otherwise.
+    trace: object = None
+    #: Workload final-state digest (``collect_state=True``, ok runs).
+    final_state: object = None
 
     @property
     def ok(self):
@@ -41,7 +53,8 @@ class RunOutcome:
 
 
 def run_workload(name, system, scale=1.0, config=None, variant=None,
-                 nthreads=None, sanitize=False):
+                 nthreads=None, sanitize=False, schedule=None,
+                 max_cycles=None, collect_state=False):
     """Run one workload under one system; never raises for the failure
     modes the paper studies.
 
@@ -49,12 +62,27 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
     :class:`~repro.analysis.race.RaceReport` lands on the outcome's
     ``analysis`` field (simulation results are unaffected — observer
     callbacks charge no cycles).
+
+    ``schedule`` is a policy spec dict (``{"policy": "random", "seed":
+    7}``, see :func:`repro.schedule.make_policy`): the run executes
+    under that scheduling policy and the outcome's ``trace`` field
+    records the decision log for exact replay.  ``max_cycles`` bounds
+    the simulated cycle budget (livelock detection for fuzzed
+    schedules).  ``collect_state=True`` computes the workload's
+    schedule-independent final-state digest on ok runs.
     """
     workload = get_workload(name, scale=scale, nthreads=nthreads)
     program = workload.build(variant or workload_variant(system))
     runtime = make_runtime(system, config)
+    policy = None
+    if schedule is not None:
+        from repro.schedule import make_policy
+        policy = make_policy(schedule)
+    engine_kwargs = {}
+    if max_cycles is not None:
+        engine_kwargs["max_cycles"] = max_cycles
     try:
-        engine = Engine(program, runtime)
+        engine = Engine(program, runtime, policy=policy, **engine_kwargs)
     except IncompatibleWorkloadError as exc:
         return RunOutcome(name, system, INCOMPATIBLE, detail=exc.reason)
     sanitizer = None
@@ -63,18 +91,28 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
         sanitizer = RaceSanitizer()
         engine.attach_observer(sanitizer)
     report = sanitizer.report if sanitizer else None
+
+    def outcome(status, result=None, detail=""):
+        out = RunOutcome(name, system, status, result=result,
+                         detail=detail, analysis=report,
+                         trace=engine.schedule_trace())
+        if collect_state and status == OK:
+            out.final_state = workload.final_state(program.env, engine)
+        return out
+
     try:
         result = engine.run()
+    except CycleBudgetError as exc:
+        return outcome(BUDGET, detail=str(exc))
     except HangError as exc:
-        return RunOutcome(name, system, HANG, detail=str(exc),
-                          analysis=report)
-    except (DeadlockError, AssertionError) as exc:
-        return RunOutcome(name, system, INVALID, detail=str(exc),
-                          analysis=report)
+        return outcome(HANG, detail=str(exc))
+    except DeadlockError as exc:
+        return outcome(DEADLOCK, detail=str(exc))
+    except AssertionError as exc:
+        return outcome(INVALID, detail=str(exc))
     if not result.validated:
-        return RunOutcome(name, system, INVALID, result=result,
-                          detail=result.error, analysis=report)
-    return RunOutcome(name, system, OK, result=result, analysis=report)
+        return outcome(INVALID, result=result, detail=result.error)
+    return outcome(OK, result=result)
 
 
 def run_matrix(workloads, systems, scale=1.0, config=None, jobs=None):

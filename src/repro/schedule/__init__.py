@@ -1,0 +1,37 @@
+"""Schedule exploration: pluggable scheduling policies, deterministic
+record/replay, and a seeded interleaving fuzzer.
+
+The engine executes exactly one interleaving per workload by default
+(smallest ready time, insertion-order tie-break).  The paper's claims —
+TMI preserves pthreads semantics, PTSB commits respect happens-before —
+are universally quantified over schedules, so this package makes the
+schedule a seeded, recordable *input*:
+
+- :class:`SchedulePolicy` implementations perturb thread selection at
+  op boundaries (random bounded reordering, PCT-style priority
+  preemption, targeted delay around lock/barrier/commit edges);
+- every policy run emits a compact :class:`ScheduleTrace` (seed +
+  decision log) that :func:`replay_trace` re-executes exactly;
+- :func:`fuzz_workload` fans seeds out over worker processes, runs each
+  interleaving through the race sanitizer and the workload's
+  final-state oracle, and shrinks failing decision logs to a minimal
+  repro artifact under ``results/fuzz/``.
+"""
+
+from repro.schedule.fuzz import (FuzzFinding, FuzzReport, fuzz_workload,
+                                 smoke_fuzz)
+from repro.schedule.policy import (POLICY_NAMES, DefaultPolicy,
+                                   DelayInjectionPolicy, PctPolicy,
+                                   RandomTieBreakPolicy, ReplayPolicy,
+                                   SchedulePolicy, make_policy)
+from repro.schedule.replay import ReplayResult, replay_trace
+from repro.schedule.shrink import shrink_decisions
+from repro.schedule.trace import TRACE_FORMAT, ScheduleTrace
+
+__all__ = [
+    "SchedulePolicy", "DefaultPolicy", "RandomTieBreakPolicy",
+    "PctPolicy", "DelayInjectionPolicy", "ReplayPolicy", "make_policy",
+    "POLICY_NAMES", "ScheduleTrace", "TRACE_FORMAT", "shrink_decisions",
+    "fuzz_workload", "smoke_fuzz", "FuzzFinding", "FuzzReport",
+    "replay_trace", "ReplayResult",
+]

@@ -1,0 +1,315 @@
+"""Seeded schedule fuzzing with shrinking repro artifacts.
+
+:func:`fuzz_workload` runs one (workload, system) cell under many
+seeded perturbation policies, fanned out across worker processes.
+Every interleaving is checked two ways:
+
+- the vector-clock race sanitizer (``sanitize=True`` runs), and
+- the workload's final-state oracle: for race-free programs whose
+  shared updates commute, the :meth:`Workload.final_state` digest must
+  match the default schedule's digest in every legal interleaving.
+
+A failing seed's decision log is shrunk by delta debugging
+(:mod:`repro.schedule.shrink`) — each candidate log is replayed and
+kept only if the *same* failure (kind and race signatures) recurs —
+and saved as a versioned :class:`~repro.schedule.trace.ScheduleTrace`
+artifact under ``results/fuzz/`` for exact replay.
+
+:func:`smoke_fuzz` is the CI entry point: a bounded budget, a positive
+control (the seeded fuzzer must find racy-flag's handoff race and the
+replayed artifact must reproduce the identical finding) and a negative
+control (a race-free workload must come back clean).
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.eval.parallel import job_count, run_cells
+from repro.eval.runner import OK, run_workload
+from repro.schedule.shrink import shrink_decisions
+from repro.schedule.trace import ScheduleTrace, race_signatures
+
+#: Failure kinds beyond the runner statuses (budget/deadlock/hang/
+#: invalid pass through as their own kinds).
+RACE = "race"
+STATE_MISMATCH = "state-mismatch"
+
+
+def classify_outcome(outcome, baseline_state=None):
+    """Classify one scheduled run: ``(kind, detail, signatures)``.
+
+    ``kind`` is None for a clean run.  Non-ok statuses (``budget``,
+    ``deadlock``, ``hang``, ``invalid``) pass through as kinds; an ok
+    run fails with :data:`RACE` when the sanitizer found anything and
+    with :data:`STATE_MISMATCH` when its final-state digest diverges
+    from ``baseline_state`` (the default schedule's digest).
+    """
+    signatures = race_signatures(outcome.analysis)
+    if outcome.status != OK:
+        return outcome.status, outcome.detail, signatures
+    if signatures:
+        return RACE, f"{len(signatures)} data race(s)", signatures
+    if (baseline_state is not None and outcome.final_state is not None
+            and outcome.final_state != baseline_state):
+        diverged = sorted(
+            key for key in set(baseline_state) | set(outcome.final_state)
+            if baseline_state.get(key) != outcome.final_state.get(key))
+        return (STATE_MISMATCH,
+                "final state diverged from default schedule: "
+                + ", ".join(diverged), signatures)
+    return None, "", signatures
+
+
+@dataclass
+class FuzzFinding:
+    """One failing seed, with its (possibly shrunk) decision log."""
+
+    workload: str
+    system: str
+    policy: str
+    seed: int
+    kind: str
+    detail: str = ""
+    signatures: list = field(default_factory=list)
+    decisions: list = field(default_factory=list)
+    #: Decision count before shrinking (None when not shrunk).
+    shrunk_from: object = None
+    #: Path of the saved ScheduleTrace artifact.
+    artifact: object = None
+
+
+@dataclass
+class FuzzReport:
+    """Everything one :func:`fuzz_workload` call learned."""
+
+    workload: str
+    system: str
+    policy: str
+    scale: float
+    seeds: list
+    max_cycles: object
+    findings: list
+    baseline_status: str
+    baseline_signatures: list
+    elapsed: float
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def summary_lines(self):
+        head = (f"fuzz {self.workload}/{self.system} policy={self.policy}"
+                f" seeds={len(self.seeds)} findings={len(self.findings)}"
+                f" ({self.elapsed:.1f}s"
+                + (", budget exhausted)" if self.budget_exhausted else ")"))
+        lines = [head]
+        for f in self.findings:
+            shrunk = ""
+            if f.shrunk_from is not None:
+                shrunk = f" (shrunk {f.shrunk_from}->{len(f.decisions)})"
+            lines.append(f"  seed {f.seed}: {f.kind}{shrunk} -> {f.artifact}")
+            if f.detail:
+                lines.append(f"    {f.detail}")
+        return lines
+
+
+def _policy_spec(policy, seed):
+    if isinstance(policy, dict):
+        spec = dict(policy)
+        spec["seed"] = seed
+        return spec
+    return {"policy": policy, "seed": seed}
+
+
+def _policy_name(policy):
+    if isinstance(policy, dict):
+        return policy.get("policy", "?")
+    return policy
+
+
+def fuzz_workload(name, system="pthreads", policy="random", seeds=16,
+                  scale=0.1, nthreads=None, variant=None, config=None,
+                  max_cycles=None, budget=None, jobs=None, out_dir=None,
+                  sanitize=True, shrink=True, max_shrinks=4,
+                  shrink_attempts=48):
+    """Fuzz one (workload, system) cell over seeded schedules.
+
+    ``seeds`` is an int (``range(seeds)``) or an explicit iterable;
+    ``policy`` a name from :data:`~repro.schedule.policy.POLICY_NAMES`
+    or a spec dict whose ``seed`` gets overridden per run.  ``budget``
+    is a wall-clock bound in seconds: no new seed batch launches after
+    it expires (in-flight batches finish).  ``max_cycles`` defaults to
+    a generous multiple of the default schedule's cycle count, so a
+    livelocking interleaving surfaces as a ``budget`` finding with a
+    replayable trace instead of hanging the fuzzer.
+
+    Returns a :class:`FuzzReport`; every finding's trace artifact is
+    already written (``results/fuzz/`` unless ``out_dir``).
+    """
+    start = time.monotonic()
+    if isinstance(seeds, int):
+        seeds = list(range(seeds))
+    else:
+        seeds = list(seeds)
+    base_kwargs = dict(name=name, system=system, scale=scale,
+                       config=config, variant=variant, nthreads=nthreads,
+                       sanitize=sanitize, collect_state=True)
+    baseline = run_workload(**base_kwargs)
+    baseline_state = baseline.final_state
+    baseline_signatures = race_signatures(baseline.analysis)
+    if max_cycles is None:
+        if baseline.cycles:
+            max_cycles = max(1_000_000, 25 * baseline.cycles)
+        else:
+            max_cycles = 500_000_000
+
+    findings = []
+    ran = []
+    budget_exhausted = False
+    batch = max(1, job_count(jobs))
+    pending = list(seeds)
+    while pending:
+        if budget is not None and time.monotonic() - start >= budget:
+            budget_exhausted = True
+            break
+        chunk, pending = pending[:batch], pending[batch:]
+        cells = [dict(base_kwargs, max_cycles=max_cycles,
+                      schedule=_policy_spec(policy, seed))
+                 for seed in chunk]
+        for seed, outcome in zip(chunk, run_cells(cells, jobs=jobs)):
+            ran.append(seed)
+            kind, detail, signatures = classify_outcome(
+                outcome, baseline_state)
+            if kind is None:
+                continue
+            decisions = list((outcome.trace or {}).get("decisions", ()))
+            findings.append(FuzzFinding(
+                workload=name, system=system, policy=_policy_name(policy),
+                seed=seed, kind=kind, detail=detail,
+                signatures=signatures, decisions=decisions))
+
+    deadline = (start + budget) if budget is not None else None
+    shrunk = 0
+    for finding in findings:
+        if shrink and shrunk < max_shrinks and finding.decisions:
+            original = len(finding.decisions)
+            finding.decisions = _shrink_finding(
+                finding, base_kwargs, max_cycles, baseline_state,
+                shrink_attempts, deadline)
+            finding.shrunk_from = original
+            shrunk += 1
+        trace = ScheduleTrace(
+            workload=name, system=system, policy=finding.policy,
+            seed=finding.seed, scale=scale, nthreads=nthreads,
+            variant=variant, max_cycles=max_cycles,
+            decisions=list(finding.decisions),
+            failure={"kind": finding.kind, "detail": finding.detail,
+                     "signatures": [list(s) for s in finding.signatures]})
+        finding.artifact = trace.save(out_dir=out_dir)
+
+    return FuzzReport(
+        workload=name, system=system, policy=_policy_name(policy),
+        scale=scale, seeds=ran, max_cycles=max_cycles, findings=findings,
+        baseline_status=baseline.status,
+        baseline_signatures=baseline_signatures,
+        elapsed=time.monotonic() - start,
+        budget_exhausted=budget_exhausted)
+
+
+def _shrink_finding(finding, base_kwargs, max_cycles, baseline_state,
+                    attempts, deadline):
+    """Shrink one finding's decision log; the failure must recur with
+    the same kind *and* the same race signatures for a candidate to be
+    accepted (the replay identity the artifact promises)."""
+    target_kind = finding.kind
+    target_signatures = finding.signatures
+
+    def reproduces(candidate):
+        if deadline is not None and time.monotonic() >= deadline:
+            return False
+        outcome = run_workload(**dict(
+            base_kwargs, max_cycles=max_cycles,
+            schedule={"policy": "replay", "decisions": list(candidate)}))
+        kind, _, signatures = classify_outcome(outcome, baseline_state)
+        return kind == target_kind and signatures == target_signatures
+
+    return shrink_decisions(finding.decisions, reproduces,
+                            max_attempts=attempts)
+
+
+# ----------------------------------------------------------------------
+# CI smoke fuzz
+# ----------------------------------------------------------------------
+
+@dataclass
+class SmokeResult:
+    """Pass/fail checks from one :func:`smoke_fuzz` run."""
+
+    checks: list                      # (name, passed, detail)
+    reports: dict                     # phase -> FuzzReport
+
+    @property
+    def ok(self):
+        return all(passed for _, passed, _ in self.checks)
+
+    def summary_lines(self):
+        lines = []
+        for name, passed, detail in self.checks:
+            mark = "PASS" if passed else "FAIL"
+            lines.append(f"[{mark}] {name}: {detail}")
+        return lines
+
+
+def smoke_fuzz(seeds=16, budget=60.0, jobs=None, out_dir=None):
+    """Bounded CI smoke: the fuzzer must *work*, fast.
+
+    - positive control: seeded fuzzing of ``racy-flag`` (pthreads,
+      buggy variant) must find the volatile-flag handoff race, and
+      replaying the emitted artifact must reproduce the identical
+      sanitizer finding;
+    - negative control: a race-free workload (histogram, small scale)
+      must produce zero findings under the same policy.
+    """
+    from repro.schedule.replay import replay_trace
+    start = time.monotonic()
+    checks = []
+    reports = {}
+
+    racy_budget = None if budget is None else budget * 0.6
+    racy = fuzz_workload(
+        "racy-flag", system="pthreads", policy="random", seeds=seeds,
+        scale=1.0, budget=racy_budget, jobs=jobs, out_dir=out_dir,
+        max_shrinks=1)
+    reports["racy-flag"] = racy
+    races = [f for f in racy.findings if f.kind == RACE]
+    checks.append((
+        "racy-flag: fuzz finds the handoff race", bool(races),
+        f"{len(races)} racing seed(s) out of {len(racy.seeds)} run"))
+
+    if races:
+        result = replay_trace(races[0].artifact)
+        checks.append((
+            "racy-flag: artifact replay reproduces the finding",
+            result.matches, result.detail()))
+    else:
+        checks.append((
+            "racy-flag: artifact replay reproduces the finding", False,
+            "no race artifact to replay"))
+
+    clean_budget = None
+    if budget is not None:
+        clean_budget = max(5.0, (start + budget) - time.monotonic())
+    clean_seeds = max(1, min(8, seeds if isinstance(seeds, int)
+                             else len(list(seeds))))
+    clean = fuzz_workload(
+        "histogram", system="pthreads", policy="random",
+        seeds=clean_seeds, scale=0.05, budget=clean_budget, jobs=jobs,
+        out_dir=out_dir, shrink=False)
+    reports["histogram"] = clean
+    checks.append((
+        "histogram: race-free workload fuzzes clean", clean.ok,
+        f"{len(clean.findings)} finding(s) over {len(clean.seeds)} "
+        f"seed(s)"))
+
+    return SmokeResult(checks=checks, reports=reports)

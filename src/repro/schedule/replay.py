@@ -1,0 +1,74 @@
+"""Exact re-execution of recorded schedule traces.
+
+A :class:`~repro.schedule.trace.ScheduleTrace` pins everything that
+determined the original interleaving: the run coordinates and the
+decision log.  :func:`replay_trace` re-runs the cell under
+:class:`~repro.schedule.policy.ReplayPolicy` and re-classifies the
+outcome, so a repro artifact can be checked — deterministically, on
+any machine — against the failure it claims to capture.
+"""
+
+import os
+from dataclasses import dataclass, field
+
+from repro.eval.runner import run_workload
+from repro.schedule.fuzz import STATE_MISMATCH, classify_outcome
+from repro.schedule.trace import ScheduleTrace
+
+
+@dataclass
+class ReplayResult:
+    """The replayed run, classified, next to the trace's claim."""
+
+    trace: ScheduleTrace
+    outcome: object
+    #: Classification of the replayed run (None when it ran clean).
+    kind: object
+    signatures: list = field(default_factory=list)
+
+    @property
+    def expected_kind(self):
+        return self.trace.failure.get("kind")
+
+    @property
+    def expected_signatures(self):
+        return [list(s) for s in self.trace.failure.get("signatures", [])]
+
+    @property
+    def matches(self):
+        """True when the replay reproduced the recorded failure: same
+        kind and identical race signatures."""
+        if self.kind != self.expected_kind:
+            return False
+        return [list(s) for s in self.signatures] == \
+            self.expected_signatures
+
+    def detail(self):
+        return (f"replayed kind={self.kind!r} "
+                f"(expected {self.expected_kind!r}), "
+                f"{len(self.signatures)} signature(s) "
+                f"(expected {len(self.expected_signatures)})")
+
+
+def replay_trace(trace, config=None):
+    """Replay a :class:`ScheduleTrace` (or a path to its JSON artifact).
+
+    The run is always sanitized and state-collected so the replay can
+    be classified exactly as the fuzzer classified the original; for
+    ``state-mismatch`` traces a fresh default-schedule baseline is run
+    first to rebuild the comparison digest.
+    """
+    if isinstance(trace, (str, os.PathLike)):
+        trace = ScheduleTrace.load(trace)
+    kwargs = dict(name=trace.workload, system=trace.system,
+                  scale=trace.scale, nthreads=trace.nthreads,
+                  variant=trace.variant, config=config,
+                  sanitize=True, collect_state=True,
+                  max_cycles=trace.max_cycles)
+    baseline_state = None
+    if trace.failure.get("kind") == STATE_MISMATCH:
+        baseline_state = run_workload(**kwargs).final_state
+    outcome = run_workload(**kwargs, schedule=trace.policy_spec())
+    kind, _detail, signatures = classify_outcome(outcome, baseline_state)
+    return ReplayResult(trace=trace, outcome=outcome, kind=kind,
+                        signatures=signatures)

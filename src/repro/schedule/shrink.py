@@ -1,0 +1,78 @@
+"""Delta-debugging minimization of schedule decision logs.
+
+A decision log replays totally even when mutated: replay pads an
+exhausted log with the default choice (index 0) and clamps
+out-of-range entries, so *any* shortened or zeroed list is a valid
+schedule.  Shrinking exploits this with two passes:
+
+1. **Truncation** — binary-search the shortest prefix that still
+   reproduces the failure (everything after the prefix becomes default
+   scheduling).
+2. **ddmin zeroing** — try resetting chunks of the surviving non-zero
+   decisions back to 0 (the default choice), halving chunk size on
+   failure, classic delta debugging over the set of perturbations.
+
+Trailing zeros are stripped at the end (replay regenerates them).
+"""
+
+
+def _strip_trailing_zeros(decisions):
+    end = len(decisions)
+    while end > 0 and decisions[end - 1] == 0:
+        end -= 1
+    return decisions[:end]
+
+
+def shrink_decisions(decisions, reproduces, max_attempts=80):
+    """Minimize ``decisions`` while ``reproduces(candidate)`` holds.
+
+    ``reproduces`` re-runs the workload under a replay of ``candidate``
+    and returns True when the original failure still occurs.  At most
+    ``max_attempts`` replays are spent; the best list found so far is
+    returned (never worse than the input with trailing zeros
+    stripped).  The input is assumed to reproduce; callers should
+    verify that before paying for shrinking.
+    """
+    best = _strip_trailing_zeros(list(decisions))
+    attempts = [0]
+
+    def try_candidate(candidate):
+        if attempts[0] >= max_attempts:
+            return False
+        attempts[0] += 1
+        return reproduces(candidate)
+
+    # pass 1: shortest reproducing prefix, by binary search.  The
+    # predicate is not monotone in general (a shorter prefix can fail
+    # while a longer one reproduces), so the search is a heuristic that
+    # keeps the best verified prefix.
+    lo, hi = 0, len(best)
+    while lo < hi and attempts[0] < max_attempts:
+        mid = (lo + hi) // 2
+        candidate = _strip_trailing_zeros(best[:mid])
+        if try_candidate(candidate):
+            best = candidate
+            hi = len(best)
+        else:
+            lo = mid + 1
+
+    # pass 2: ddmin over the non-default decisions — zero out chunks.
+    chunk = max(1, len(best) // 2)
+    while chunk >= 1 and attempts[0] < max_attempts:
+        changed = False
+        start = 0
+        while start < len(best) and attempts[0] < max_attempts:
+            stop = min(start + chunk, len(best))
+            if any(best[start:stop]):
+                candidate = best[:start] + [0] * (stop - start) \
+                    + best[stop:]
+                candidate = _strip_trailing_zeros(candidate)
+                if try_candidate(candidate):
+                    best = candidate
+                    changed = True
+            start = stop
+        if not changed:
+            if chunk == 1:
+                break
+            chunk //= 2
+    return _strip_trailing_zeros(best)

@@ -1,0 +1,93 @@
+"""Schedule traces: the compact, replayable record of one fuzzed run.
+
+A trace is everything needed to re-execute an interleaving exactly:
+the run's coordinates (workload, system, scale, nthreads, variant,
+``max_cycles``), the policy and seed that generated it, and the
+decision log — the index the policy chose, at every point where more
+than one thread was runnable, into the candidate list sorted by
+``(ready_time, seq)``.  Traces serialize to JSON artifacts under
+``results/fuzz/`` with a versioned format tag so drift is detected at
+load time rather than as garbage replays.
+"""
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+from repro.eval.report import results_dir
+
+#: Versioned artifact format tag.
+TRACE_FORMAT = "repro-schedule-trace/1"
+
+
+@dataclass
+class ScheduleTrace:
+    """One recorded interleaving plus the failure it provoked."""
+
+    workload: str
+    system: str
+    policy: str
+    seed: object = None
+    scale: float = 1.0
+    nthreads: object = None
+    variant: object = None
+    max_cycles: object = None
+    decisions: list = field(default_factory=list)
+    #: Failure record: {"kind": ..., "detail": ..., "signatures": [...]}.
+    #: ``signatures`` are [rule, label, line_va] triples from the race
+    #: sanitizer, the replay identity check's ground truth.
+    failure: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def policy_spec(self):
+        """Replay spec for :func:`repro.schedule.policy.make_policy`."""
+        return {"policy": "replay", "decisions": list(self.decisions)}
+
+    def to_dict(self):
+        data = {"format": TRACE_FORMAT}
+        data.update(asdict(self))
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        tag = data.get("format")
+        if tag != TRACE_FORMAT:
+            raise ValueError(
+                f"unsupported schedule trace format {tag!r} "
+                f"(expected {TRACE_FORMAT})")
+        fields = {k: v for k, v in data.items() if k != "format"}
+        return cls(**fields)
+
+    # ------------------------------------------------------------------
+    def save(self, path=None, out_dir=None):
+        """Write the artifact; returns its path.
+
+        Default location: ``results/fuzz/<workload>-<system>-<policy>-
+        s<seed>.json`` (``REPRO_RESULTS_DIR`` aware).
+        """
+        if path is None:
+            directory = out_dir or os.path.join(results_dir(), "fuzz")
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(directory, self.default_name())
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    def default_name(self):
+        return (f"{self.workload}-{self.system}-{self.policy}"
+                f"-s{self.seed}.json")
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def race_signatures(report):
+    """Canonical, order-independent signatures of a RaceReport's
+    findings: sorted [rule, label, line_va] triples."""
+    if report is None:
+        return []
+    return sorted([f.rule, f.label, f.line_va]
+                  for f in report.findings)

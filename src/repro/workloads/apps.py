@@ -118,3 +118,15 @@ class LevelDB(Workload):
         assert env.get("total_ops") == expected, (
             f"leveldb op counters corrupted: {env.get('total_ops')} "
             f"!= {expected}")
+
+    #: Per-thread op counters take a fixed number of increments each.
+    result_env_keys = ("total_ops",)
+
+    def final_state(self, env, engine):
+        # the memtable/deque contents are last-writer-wins and thus
+        # schedule-dependent; only the per-thread counters are part of
+        # the schedule-independent state
+        state = super().final_state(env, engine)
+        state["op_counters"] = self.read_words(
+            engine, env["counters"], self.nthreads, env["stride"])
+        return state

@@ -96,6 +96,34 @@ class Workload:
         """Return the main generator function ``main(ctx)``."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # final-state oracle (schedule fuzzing / metamorphic testing)
+    # ------------------------------------------------------------------
+    #: env keys whose final values are schedule-independent program
+    #: results (commutative reductions, per-thread-disjoint outputs,
+    #: invariant-checked totals).  Address-valued keys must stay out:
+    #: allocation addresses legitimately differ across runtimes and
+    #: malloc interleavings.
+    result_env_keys = ()
+
+    def final_state(self, env, engine):
+        """Digest of the program's schedule-independent final state.
+
+        The fuzz driver and the metamorphic tests compare this digest
+        across scheduling policies and across runtimes (pthreads vs
+        TMI-repaired): for a race-free workload whose shared updates
+        commute, it must be identical for every legal interleaving.
+        Overrides may read memory back through
+        ``engine.read_memory`` — a debug view that charges no cycles.
+        """
+        return {key: env.get(key) for key in self.result_env_keys}
+
+    def read_words(self, engine, base, count, stride, width=8):
+        """Read ``count`` integers from the final shared memory image
+        (helper for :meth:`final_state` overrides)."""
+        return [engine.read_memory(base + i * stride, width)
+                for i in range(count)]
+
     def iters(self, n):
         """Scale an iteration count by the workload's scale factor."""
         return max(1, int(n * self.scale))

@@ -47,6 +47,8 @@ class SpinlockPool(Workload):
             pool_mem = yield from t.malloc(stride * pool + 64, align=64)
             objects = yield from t.malloc(objs_stride * nworkers + 64,
                                           align=64)
+            env["objects"] = objects
+            env["objs_stride"] = objs_stride
             locks = []
             for i in range(pool):
                 locks.append(t.mutex_at(pool_mem + i * stride,
@@ -71,6 +73,12 @@ class SpinlockPool(Workload):
             yield from spawn_join(t, nworkers, worker)
 
         return main
+
+    def final_state(self, env, engine):
+        # per-thread object slots, written only by their owner
+        return {"objects": self.read_words(
+            engine, env["objects"], self.nthreads,
+            env["objs_stride"])}
 
 
 class _SharedPtrBase(Workload):
@@ -98,6 +106,8 @@ class _SharedPtrBase(Workload):
             # every thread updates — genuine sharing)
             control = yield from t.malloc(4096, align=4096)
             env["refcount"] = control
+            env["slots"] = slots
+            env["slot_stride"] = stride
             rc_lock = None
             if refcount_mutex:
                 rc_lock = yield from t.mutex("rc")
@@ -135,6 +145,15 @@ class _SharedPtrBase(Workload):
         assert env["refcount_final"] == env["expected_refcount"], (
             "shared_ptr refcount corrupted: "
             f"{env['refcount_final']} != {env['expected_refcount']}")
+
+    #: The refcount is a commutative counter; slots are per-thread.
+    result_env_keys = ("refcount_final", "expected_refcount")
+
+    def final_state(self, env, engine):
+        state = super().final_state(env, engine)
+        state["slots"] = self.read_words(
+            engine, env["slots"], self.nthreads, env["slot_stride"])
+        return state
 
 
 class SharedPtrRelaxed(_SharedPtrBase):

@@ -91,6 +91,19 @@ class Histogram(Workload):
     def validate(self, env, engine):
         assert env.get("checksum", 0) > 0, "histogram produced no counts"
 
+    #: Each worker's bins receive a deterministic per-thread increment
+    #: stream, so every counter value is schedule-independent.
+    result_env_keys = ("checksum",)
+
+    def final_state(self, env, engine):
+        state = super().final_state(env, engine)
+        stride = env["stride"]
+        state["counters"] = [
+            self.read_words(engine, env["counters"] + wi * stride,
+                            stride // 4, 4, width=4)
+            for wi in range(self.nthreads)]
+        return state
+
 
 class HistogramFS(Histogram):
     """The paper's alternative input: increments concentrate on the
@@ -123,6 +136,7 @@ class LinearRegression(Workload):
             data = yield from t.malloc(8 * MB, align=64)
             args = yield from t.malloc(stride * nworkers + 64, align=64)
             env["args"] = args
+            env["stride"] = stride
 
             def worker(w):
                 wi = worker_index(w)
@@ -148,6 +162,18 @@ class LinearRegression(Workload):
     def validate(self, env, engine):
         assert env.get("sx_total", 0) > 0
 
+    #: Accumulator structs are per-thread with deterministic inputs.
+    result_env_keys = ("sx_total",)
+
+    def final_state(self, env, engine):
+        state = super().final_state(env, engine)
+        stride = env["stride"]
+        state["accumulators"] = [
+            self.read_words(engine, env["args"] + wi * stride,
+                            stride // 8, 8)
+            for wi in range(self.nthreads)]
+        return state
+
 
 class StringMatch(Workload):
     """``cur_word`` / ``cur_word_final`` structs overlap on a line."""
@@ -172,6 +198,9 @@ class StringMatch(Workload):
             corpus = yield from t.malloc(4 * MB, align=64)
             words = yield from t.malloc(stride * nworkers + 64, align=64)
             finals = yield from t.malloc(stride * nworkers + 64, align=64)
+            env["words"] = words
+            env["finals"] = finals
+            env["stride"] = stride
 
             def worker(w):
                 wi = worker_index(w)
@@ -190,6 +219,17 @@ class StringMatch(Workload):
             yield from spawn_join(t, nworkers, worker)
 
         return main
+
+    def final_state(self, env, engine):
+        # one cur_word / cur_word_final slot per thread, written only
+        # by its owner with a deterministic key stream
+        stride = env["stride"]
+        return {
+            "words": self.read_words(engine, env["words"],
+                                     self.nthreads, stride),
+            "finals": self.read_words(engine, env["finals"],
+                                      self.nthreads, stride),
+        }
 
 
 class KMeans(Workload):

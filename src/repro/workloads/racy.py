@@ -89,6 +89,11 @@ class RacyFlag(Workload):
         assert env.get("consumed") == expected, (
             f"consumer read {env.get('consumed')} != {expected}")
 
+    #: The handoff is racy but value-deterministic in any legal
+    #: interleaving that completes (the consumer spins until each round
+    #: is published), so the totals are usable as an oracle.
+    result_env_keys = ("consumed", "completed", "rounds")
+
     def build(self, variant=DEFAULT):
         program = super().build(variant)
         program.nthreads = 2

@@ -177,6 +177,13 @@ class LuNcb(Workload):
 
         return main
 
+    def final_state(self, env, engine):
+        # each worker owns one 64-byte daxpy partition (8 words) and
+        # accumulates a deterministic series into it
+        return {"daxpy": [
+            self.read_words(engine, env["daxpy_base"] + wi * 64, 8, 8)
+            for wi in range(self.nthreads)]}
+
 
 class OceanCp(_BarrierPhases):
     name = "ocean-cp"

@@ -28,6 +28,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure99"])
 
+    def test_fuzz_defaults_to_smoke_mode(self):
+        args = build_parser().parse_args(["fuzz", "--seeds", "16",
+                                          "--budget", "60"])
+        assert args.workload is None
+        assert args.seeds == 16
+        assert args.budget == 60.0
+
+    def test_fuzz_targeted(self):
+        args = build_parser().parse_args(
+            ["fuzz", "racy-flag", "--policy", "pct", "--seeds", "32",
+             "--max-cycles", "5000", "--no-sanitize"])
+        assert args.workload == "racy-flag"
+        assert args.policy == "pct"
+        assert args.max_cycles == 5000
+        assert args.no_sanitize
+
+    def test_replay_takes_artifact_path(self):
+        args = build_parser().parse_args(["replay", "r/fuzz/a.json"])
+        assert args.artifact == "r/fuzz/a.json"
+
 
 class TestExecution:
     def test_list_command(self, capsys):
@@ -47,3 +67,18 @@ class TestExecution:
                      "--scale", "0.05"]) == 0
         out = capsys.readouterr().out
         assert "ok" in out and "runtime" in out
+
+    def test_fuzz_then_replay_round_trip(self, capsys, tmp_path,
+                                         monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        # a racy workload exits nonzero (findings are failures)...
+        assert main(["fuzz", "racy-flag", "--seeds", "1",
+                     "--scale", "1.0", "--jobs", "1",
+                     "--out-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "findings=1" in out
+        artifact = next(tmp_path.glob("*.json"))
+        # ...and replaying its artifact reproduces the finding
+        assert main(["replay", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "reproduced" in out

@@ -1,5 +1,7 @@
 """Shared program builders for the test suite."""
 
+import random
+
 from repro.baselines.pthreads import PthreadsRuntime
 from repro.engine import Engine, Program
 from repro.isa import Binary
@@ -15,10 +17,21 @@ def make_program(main, name="test", nthreads=4, binary=None, **kwargs):
 
 
 def run_program(main, runtime=None, name="test", nthreads=4, binary=None,
-                **kwargs):
-    """Build + run a program; returns (RunResult, Engine)."""
+                policy=None, max_cycles=None, **kwargs):
+    """Build + run a program; returns (RunResult, Engine).
+
+    ``policy`` is a :class:`repro.schedule.SchedulePolicy` (or spec
+    dict) to run under; ``max_cycles`` bounds the simulated budget.
+    """
     program = make_program(main, name, nthreads, binary, **kwargs)
-    engine = Engine(program, runtime or PthreadsRuntime())
+    engine_kwargs = {}
+    if policy is not None:
+        from repro.schedule import make_policy
+        engine_kwargs["policy"] = make_policy(policy)
+    if max_cycles is not None:
+        engine_kwargs["max_cycles"] = max_cycles
+    engine = Engine(program, runtime or PthreadsRuntime(),
+                    **engine_kwargs)
     result = engine.run()
     return result, engine
 
@@ -61,4 +74,94 @@ def fs_counter_program(iters=2000, stride=8, nworkers=4, compute=0,
     program = Program(name, binary, main, nthreads=nworkers)
     program.validate = validate
     program.env = program_box
+    return program
+
+
+_WORD = 0xFFFFFFFFFFFFFFFF
+
+
+def random_program(seed, nthreads=3, nlocks=2, nlines=4,
+                   ops_per_thread=40, env=None):
+    """Seeded random lock-disciplined program (threads x locks x
+    shared cache lines).
+
+    Every shared line is guarded by a fixed lock (``line % nlocks``)
+    and all its updates use one commutative operator (add or xor,
+    chosen per line), so the program is race-free *and* confluent: any
+    legal interleaving produces the same final memory.  That makes the
+    family a schedule-fuzzing oracle — ``env["finals"]`` must equal
+    ``env["expected"]`` under every policy and seed.
+
+    Returns the Program; ``env`` (or the passed-in dict) carries
+    ``buf``, ``finals`` and the statically computed ``expected``.
+    """
+    rng = random.Random(seed)
+    name = f"rand{seed}"
+    binary = Binary(name)
+    ld = binary.load_site("ld", 8)
+    st = binary.store_site("st", 8)
+    env = {} if env is None else env
+    line_kind = [rng.choice(("add", "xor")) for _ in range(nlines)]
+    plans = []
+    for _ in range(nthreads):
+        steps = []
+        for _ in range(ops_per_thread):
+            line = rng.randrange(nlines)
+            operand = rng.randrange(1, 1 << 30)
+            delay = rng.choice((0, 0, 60, 200))
+            steps.append((line, operand, delay))
+        plans.append(steps)
+
+    expected = [0] * nlines
+    for steps in plans:
+        for line, operand, _ in steps:
+            if line_kind[line] == "add":
+                expected[line] = (expected[line] + operand) & _WORD
+            else:
+                expected[line] ^= operand
+    env["expected"] = expected
+
+    def main(t):
+        buf = yield from t.malloc(64 * nlines + 64, align=64)
+        env["buf"] = buf
+        locks = []
+        for i in range(nlocks):
+            lock = yield from t.mutex(f"l{i}")
+            locks.append(lock)
+
+        def worker(w):
+            steps = plans[w.tid - 1]
+            for line, operand, delay in steps:
+                addr = buf + line * 64
+                yield from w.lock(locks[line % nlocks])
+                value = yield from w.load(addr, 8, site=ld)
+                if line_kind[line] == "add":
+                    value = (value + operand) & _WORD
+                else:
+                    value ^= operand
+                yield from w.store(addr, value, 8, site=st)
+                yield from w.unlock(locks[line % nlocks])
+                if delay:
+                    yield from w.compute(delay)
+
+        tids = []
+        for i in range(nthreads):
+            tid = yield from t.spawn(worker, f"w{i}")
+            tids.append(tid)
+        for tid in tids:
+            yield from t.join(tid)
+        finals = []
+        for i in range(nlines):
+            value = yield from t.load(buf + i * 64, 8, site=ld)
+            finals.append(value)
+        env["finals"] = finals
+
+    def validate(env_, engine):
+        assert env["finals"] == expected, (
+            f"confluent program diverged: {env['finals']} "
+            f"!= {expected}")
+
+    program = Program(name, binary, main, nthreads=nthreads)
+    program.validate = validate
+    program.env = env
     return program

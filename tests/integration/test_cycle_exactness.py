@@ -30,9 +30,15 @@ EXACT_FIELDS = ("status", "cycles", "hitm_loads", "hitm_stores",
                 "data_ops", "sync_ops", "validated")
 
 
-def observe(name, system, scale):
+#: Hint printed when goldens drift; keep it copy-pasteable.
+REGEN_HINT = ("regenerate with: PYTHONPATH=src python "
+              "tests/integration/test_cycle_exactness.py "
+              "(and explain why in the commit message)")
+
+
+def observe(name, system, scale, schedule=None):
     from repro.eval.runner import run_workload
-    outcome = run_workload(name, system, scale=scale)
+    outcome = run_workload(name, system, scale=scale, schedule=schedule)
     result = outcome.result
     return {
         "status": outcome.status,
@@ -55,7 +61,46 @@ def test_workload_is_cycle_exact(key):
                   if got[field] != golden[field]}
     assert not mismatches, (
         f"{key} diverged from pre-optimization golden "
-        f"(got, want): {mismatches}")
+        f"(got, want): {mismatches}; {REGEN_HINT}")
+
+
+@pytest.mark.parametrize("key", sorted(GOLDENS))
+def test_default_policy_is_byte_identical(key):
+    """SchedulePolicy('default') must match the heap scheduler —
+    pinned against the same goldens, so the per-access decision points
+    the policy loop adds provably cost zero simulated cycles."""
+    golden = GOLDENS[key]
+    name, system = key.split("/")
+    got = observe(name, system, golden["scale"],
+                  schedule={"policy": "default"})
+    mismatches = {field: (got[field], golden[field])
+                  for field in EXACT_FIELDS
+                  if got[field] != golden[field]}
+    assert not mismatches, (
+        f"{key} under the default schedule policy diverged from the "
+        f"policy-less golden (got, want): {mismatches}")
+
+
+def test_goldens_are_fresh():
+    """Structural freshness: every golden entry carries every pinned
+    field and matches the current workload registry, so a stale or
+    hand-edited golden file fails loudly with the regeneration hint."""
+    from repro.workloads import all_names
+    from repro.workloads import get as get_workload
+    assert GOLDENS, f"golden file is empty; {REGEN_HINT}"
+    names = set(all_names())
+    for key, golden in GOLDENS.items():
+        name, system = key.split("/")
+        assert name in names, (
+            f"golden {key} references unknown workload; {REGEN_HINT}")
+        missing = [field for field in EXACT_FIELDS + ("scale", "suite")
+                   if field not in golden]
+        assert not missing, (
+            f"golden {key} is missing fields {missing}; {REGEN_HINT}")
+        assert golden["suite"] == get_workload(name).suite, (
+            f"golden {key} suite drifted; {REGEN_HINT}")
+        assert golden["status"] == "ok" and golden["validated"], (
+            f"golden {key} pins a failing run; {REGEN_HINT}")
 
 
 def _regenerate():

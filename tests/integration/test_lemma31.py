@@ -77,3 +77,46 @@ class TestLemma31:
         Engine(synchronized_program(a), factory()).run()
         Engine(synchronized_program(b), factory()).run()
         assert a == b
+
+
+class TestLemma31UnderFuzzedSchedules:
+    """Metamorphic form of the lemma: for every repair-suite workload,
+    the TMI-repaired final state must equal the pthreads final state
+    not just on the default schedule but under seeded schedule
+    perturbation — the repair may change timing, never results."""
+
+    SCALE = 0.04
+    FUZZ_SEEDS = range(8)
+
+    def _repair_suite(self):
+        from repro.workloads.registry import REPAIR_SUITE
+        return REPAIR_SUITE
+
+    @pytest.mark.parametrize("workload", [
+        "histogram", "histogramfs", "lreg", "stringmatch", "lu-ncb",
+        "leveldb-fs", "spinlockpool", "shptr-relaxed", "shptr-lock"])
+    def test_tmi_matches_pthreads_under_fuzz(self, workload):
+        from repro.eval.runner import run_workload
+        baseline = run_workload(workload, "pthreads", scale=self.SCALE,
+                                collect_state=True)
+        assert baseline.ok, (workload, baseline.status, baseline.detail)
+        assert baseline.final_state, (
+            f"{workload} has no final-state digest; give it "
+            f"result_env_keys or a final_state override")
+        for seed in self.FUZZ_SEEDS:
+            fuzzed = run_workload(
+                workload, "tmi-protect", scale=self.SCALE,
+                collect_state=True,
+                schedule={"policy": "random", "seed": seed})
+            assert fuzzed.ok, (workload, seed, fuzzed.status,
+                               fuzzed.detail)
+            assert fuzzed.final_state == baseline.final_state, (
+                f"{workload}: TMI-repaired final state diverged from "
+                f"pthreads under schedule seed {seed}")
+
+    def test_parametrization_covers_whole_repair_suite(self):
+        # keep the explicit list above honest if the registry grows
+        listed = {"histogram", "histogramfs", "lreg", "stringmatch",
+                  "lu-ncb", "leveldb-fs", "spinlockpool",
+                  "shptr-relaxed", "shptr-lock"}
+        assert set(self._repair_suite()) == listed

@@ -1,0 +1,66 @@
+"""Property tests: fuzzed schedules never change the final memory of
+race-free programs (pthreads semantics are schedule-independent for
+lock-disciplined, confluent update patterns)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import random_program
+from repro.baselines.pthreads import PthreadsRuntime
+from repro.engine import Engine
+from repro.schedule import make_policy
+
+PERTURBATIONS = ["random", "pct", "delay"]
+
+
+def run_random(program_seed, policy_spec=None, **program_kwargs):
+    env = {}
+    program = random_program(program_seed, env=env, **program_kwargs)
+    kwargs = {}
+    if policy_spec is not None:
+        kwargs["policy"] = make_policy(policy_spec)
+    result = Engine(program, PthreadsRuntime(), **kwargs).run()
+    assert result.validated, result.error
+    return env
+
+
+class TestGeneratorIsConfluent:
+    def test_expected_matches_default_run(self):
+        env = run_random(0)
+        assert env["finals"] == env["expected"]
+
+    def test_distinct_seeds_give_distinct_programs(self):
+        a = run_random(1)
+        b = run_random(2)
+        assert a["expected"] != b["expected"]
+
+
+class TestFuzzedSchedulesPreserveState:
+    @pytest.mark.parametrize("policy", PERTURBATIONS)
+    @pytest.mark.parametrize("program_seed", [0, 3, 11])
+    def test_parametrized(self, program_seed, policy):
+        baseline = run_random(program_seed)
+        for schedule_seed in range(4):
+            env = run_random(program_seed,
+                             {"policy": policy, "seed": schedule_seed})
+            assert env["finals"] == baseline["finals"], (
+                f"{policy} seed {schedule_seed} changed final memory")
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(program_seed=st.integers(0, 2**16),
+           schedule_seed=st.integers(0, 2**16),
+           policy=st.sampled_from(PERTURBATIONS),
+           nthreads=st.integers(2, 4),
+           nlocks=st.integers(1, 3))
+    def test_property(self, program_seed, schedule_seed, policy,
+                      nthreads, nlocks):
+        kwargs = dict(nthreads=nthreads, nlocks=nlocks,
+                      ops_per_thread=25)
+        baseline = run_random(program_seed, **kwargs)
+        fuzzed = run_random(
+            program_seed, {"policy": policy, "seed": schedule_seed},
+            **kwargs)
+        assert fuzzed["finals"] == baseline["finals"]
+        assert fuzzed["finals"] == baseline["expected"]

@@ -1,0 +1,151 @@
+"""Schedule policy layer: default identity, determinism, replay."""
+
+import pytest
+
+from helpers import fs_counter_program, random_program
+from repro.baselines.pthreads import PthreadsRuntime
+from repro.engine import Engine
+from repro.errors import CycleBudgetError, SimulationError
+from repro.schedule import (POLICY_NAMES, DefaultPolicy, ReplayPolicy,
+                            make_policy)
+
+
+def run_random(seed, policy=None):
+    """Run one random_program; returns (env, engine)."""
+    env = {}
+    program = random_program(seed, env=env)
+    kwargs = {}
+    if policy is not None:
+        kwargs["policy"] = make_policy(policy)
+    engine = Engine(program, PthreadsRuntime(), **kwargs)
+    engine.run()
+    return env, engine
+
+
+def run_counter(policy=None, **kwargs):
+    program = fs_counter_program(iters=300, nworkers=3)
+    engine_kwargs = {}
+    if policy is not None:
+        engine_kwargs["policy"] = make_policy(policy)
+    engine_kwargs.update(kwargs)
+    engine = Engine(program, PthreadsRuntime(), **engine_kwargs)
+    result = engine.run()
+    return result, engine
+
+
+class TestMakePolicy:
+    def test_none_is_none(self):
+        assert make_policy(None) is None
+
+    def test_instance_passthrough(self):
+        policy = DefaultPolicy()
+        assert make_policy(policy) is policy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown schedule policy"):
+            make_policy({"policy": "no-such-policy"})
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_every_named_policy_builds(self, name):
+        policy = make_policy({"policy": name, "seed": 3})
+        assert policy.choose is not None
+
+    def test_replay_spec(self):
+        policy = make_policy({"policy": "replay", "decisions": [1, 0, 2]})
+        assert isinstance(policy, ReplayPolicy)
+        assert policy.decisions == [1, 0, 2]
+
+
+class TestDefaultPolicyIdentity:
+    """DefaultPolicy must reproduce the heap scheduler exactly."""
+
+    def test_result_identical_to_fast_path(self):
+        plain, _ = run_counter()
+        policied, engine = run_counter(policy={"policy": "default"})
+        assert policied.cycles == plain.cycles
+        assert policied.hitm_loads == plain.hitm_loads
+        assert policied.hitm_stores == plain.hitm_stores
+        assert policied.data_ops == plain.data_ops
+        assert policied.sync_ops == plain.sync_ops
+        assert policied.validated and plain.validated
+        # the default policy still records its (all-zero) decisions
+        trace = engine.schedule_trace()
+        assert trace["policy"] == "default"
+        assert set(trace["decisions"]) <= {0}
+
+    def test_plain_run_has_no_trace(self):
+        _, engine = run_counter()
+        assert engine.schedule_trace() is None
+
+
+class TestDeterminismAndReplay:
+    @pytest.mark.parametrize("name", ["random", "pct", "delay"])
+    def test_same_seed_same_schedule(self, name):
+        a, ea = run_counter(policy={"policy": name, "seed": 11})
+        b, eb = run_counter(policy={"policy": name, "seed": 11})
+        assert ea.schedule_decisions == eb.schedule_decisions
+        assert a.cycles == b.cycles
+
+    @pytest.mark.parametrize("name", ["random", "pct", "delay"])
+    def test_replay_reproduces_cycles(self, name):
+        original, engine = run_counter(policy={"policy": name, "seed": 5})
+        decisions = list(engine.schedule_decisions)
+        replayed, replay_engine = run_counter(
+            policy={"policy": "replay", "decisions": decisions})
+        assert replayed.cycles == original.cycles
+        assert replay_engine.schedule_decisions == decisions
+
+    def test_replay_on_random_program(self):
+        env_a, engine = run_random(7, policy={"policy": "random",
+                                              "seed": 2})
+        env_b, _ = run_random(
+            7, policy={"policy": "replay",
+                       "decisions": list(engine.schedule_decisions)})
+        assert env_a["finals"] == env_b["finals"]
+
+
+class TestReplayTotality:
+    def _fake(self, n):
+        class T:
+            def __init__(self, i):
+                self.ready_time = i
+                self.seq = i
+        return [T(i) for i in range(n)]
+
+    def test_exhausted_log_defaults_to_zero(self):
+        policy = ReplayPolicy([1])
+        policy.reset(None)
+        assert policy.choose(self._fake(3)) == 1
+        assert policy.choose(self._fake(3)) == 0
+
+    def test_out_of_range_clamps(self):
+        policy = ReplayPolicy([7])
+        policy.reset(None)
+        assert policy.choose(self._fake(2)) == 1
+
+
+class TestPolicyValidation:
+    def test_bad_index_raises(self):
+        class Bad(DefaultPolicy):
+            def choose(self, candidates):
+                return len(candidates)
+
+        with pytest.raises(SimulationError, match="chose index"):
+            run_counter(policy=Bad())
+
+
+class TestCycleBudget:
+    def test_budget_error_carries_trace(self):
+        with pytest.raises(CycleBudgetError) as info:
+            run_counter(policy={"policy": "default"}, max_cycles=10_000)
+        err = info.value
+        assert err.budget == 10_000
+        assert err.now > err.budget
+        assert err.trace is not None
+        assert err.trace["policy"] == "default"
+        assert isinstance(err.trace["decisions"], list)
+
+    def test_budget_error_without_policy(self):
+        with pytest.raises(CycleBudgetError) as info:
+            run_counter(max_cycles=10_000)
+        assert info.value.trace is None

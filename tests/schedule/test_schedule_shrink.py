@@ -1,0 +1,58 @@
+"""Delta-debugging shrinker over decision logs."""
+
+from repro.schedule import shrink_decisions
+from repro.schedule.shrink import _strip_trailing_zeros
+
+
+class TestStripTrailingZeros:
+    def test_strips(self):
+        assert _strip_trailing_zeros([1, 0, 2, 0, 0]) == [1, 0, 2]
+
+    def test_all_zero(self):
+        assert _strip_trailing_zeros([0, 0, 0]) == []
+
+    def test_empty(self):
+        assert _strip_trailing_zeros([]) == []
+
+
+class TestShrink:
+    def test_always_reproducing_shrinks_to_empty(self):
+        out = shrink_decisions([1, 2, 3, 4], lambda c: True)
+        assert out == []
+
+    def test_never_shrinks_below_needed_decision(self):
+        # the failure needs decisions[5] == 3; everything else is noise
+        def reproduces(c):
+            return len(c) > 5 and c[5] == 3
+
+        start = [1, 2, 1, 2, 1, 3, 2, 1, 2, 1, 2, 1]
+        out = shrink_decisions(start, reproduces)
+        assert reproduces(out)
+        assert out[5] == 3
+        # the tail after the needed decision is gone, the prefix zeroed
+        assert len(out) == 6
+        assert out[:5] == [0, 0, 0, 0, 0]
+
+    def test_keeps_interacting_pair(self):
+        def reproduces(c):
+            return len(c) >= 4 and c[0] == 2 and c[3] == 1
+
+        out = shrink_decisions([2, 5, 5, 1, 5, 5, 5, 5], reproduces)
+        assert reproduces(out)
+        assert out == [2, 0, 0, 1]
+
+    def test_respects_max_attempts(self):
+        calls = []
+
+        def reproduces(c):
+            calls.append(1)
+            return True
+
+        shrink_decisions(list(range(1, 200)), reproduces, max_attempts=7)
+        assert len(calls) <= 7
+
+    def test_nonreproducing_input_returns_input(self):
+        # callers are told to verify first; shrink must still be safe
+        start = [1, 2, 3]
+        out = shrink_decisions(start, lambda c: False)
+        assert out == start

@@ -1,0 +1,81 @@
+"""ScheduleTrace artifacts: round-trip, versioning, signatures."""
+
+import json
+
+import pytest
+
+from repro.schedule import TRACE_FORMAT, ScheduleTrace
+from repro.schedule.trace import race_signatures
+
+
+def sample_trace():
+    return ScheduleTrace(
+        workload="racy-flag", system="pthreads", policy="random",
+        seed=9, scale=1.0, nthreads=2, variant=None, max_cycles=123_456,
+        decisions=[0, 1, 1, 0, 2],
+        failure={"kind": "race", "detail": "1 data race(s)",
+                 "signatures": [["data-race", "payload", 512]]})
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        trace = sample_trace()
+        again = ScheduleTrace.from_dict(trace.to_dict())
+        assert again == trace
+
+    def test_format_tag_present(self):
+        assert sample_trace().to_dict()["format"] == TRACE_FORMAT
+
+    def test_wrong_format_rejected(self):
+        data = sample_trace().to_dict()
+        data["format"] = "repro-schedule-trace/999"
+        with pytest.raises(ValueError, match="unsupported"):
+            ScheduleTrace.from_dict(data)
+
+    def test_missing_format_rejected(self):
+        data = sample_trace().to_dict()
+        del data["format"]
+        with pytest.raises(ValueError, match="unsupported"):
+            ScheduleTrace.from_dict(data)
+
+
+class TestSaveLoad:
+    def test_save_load(self, tmp_path):
+        trace = sample_trace()
+        path = trace.save(out_dir=str(tmp_path))
+        assert path.endswith("racy-flag-pthreads-random-s9.json")
+        assert ScheduleTrace.load(path) == trace
+        # the artifact is plain versioned JSON
+        data = json.loads((tmp_path / trace.default_name()).read_text())
+        assert data["format"] == TRACE_FORMAT
+        assert data["decisions"] == [0, 1, 1, 0, 2]
+
+    def test_explicit_path(self, tmp_path):
+        target = tmp_path / "repro.json"
+        assert sample_trace().save(path=str(target)) == str(target)
+        assert target.exists()
+
+
+class TestPolicySpec:
+    def test_replay_spec(self):
+        spec = sample_trace().policy_spec()
+        assert spec == {"policy": "replay",
+                        "decisions": [0, 1, 1, 0, 2]}
+
+
+class TestRaceSignatures:
+    def test_none_report(self):
+        assert race_signatures(None) == []
+
+    def test_sorted_triples(self):
+        class F:
+            def __init__(self, rule, label, line_va):
+                self.rule = rule
+                self.label = label
+                self.line_va = line_va
+
+        class R:
+            findings = [F("data-race", "b", 128), F("data-race", "a", 64)]
+
+        assert race_signatures(R()) == [["data-race", "a", 64],
+                                        ["data-race", "b", 128]]
