@@ -15,6 +15,7 @@ The package is organized as the paper's system stack:
   thread-to-process conversion, and code-centric consistency;
 - :mod:`repro.baselines` — pthreads, Sheriff, and LASER;
 - :mod:`repro.workloads` — the paper's 35 benchmarks plus cholesky;
+- :mod:`repro.obs` — structured tracing, metrics, self-profiling;
 - :mod:`repro.eval` — one entry point per table and figure.
 
 Quickstart::
@@ -31,6 +32,7 @@ from repro.core import TmiConfig, TmiRuntime
 from repro.engine import Engine, Program, RunResult
 from repro.errors import ReproError
 from repro.eval import run_workload
+from repro.obs import MetricsRegistry, Tracer
 from repro.sim import CostModel, Machine
 from repro.workloads import get as get_workload
 
@@ -39,6 +41,6 @@ __version__ = "1.0.0"
 __all__ = [
     "LaserRuntime", "PthreadsRuntime", "SheriffRuntime", "TmiConfig",
     "TmiRuntime", "Engine", "Program", "RunResult", "ReproError",
-    "run_workload", "CostModel", "Machine", "get_workload",
-    "__version__",
+    "run_workload", "CostModel", "Machine", "MetricsRegistry",
+    "Tracer", "get_workload", "__version__",
 ]

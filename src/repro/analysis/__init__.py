@@ -21,11 +21,11 @@ goldens enforce this).
 from repro.analysis.findings import (ERROR, Finding, INFO, WARNING,
                                      format_findings, max_severity)
 from repro.analysis.lint import LintReport, lint_program, lint_workload
-from repro.analysis.observer import EngineObserver
+from repro.analysis.observer import EngineObserver, ObserverMux
 from repro.analysis.race import RaceSanitizer
 
 __all__ = [
     "ERROR", "Finding", "INFO", "WARNING", "format_findings",
     "max_severity", "LintReport", "lint_program", "lint_workload",
-    "EngineObserver", "RaceSanitizer",
+    "EngineObserver", "ObserverMux", "RaceSanitizer",
 ]

@@ -71,3 +71,69 @@ class EngineObserver:
     def on_ptsb_commit(self, info):
         """A PTSB committed; ``info`` has pid/core/reason/pages/bytes
         and the merged physical byte ``spans``."""
+
+    def on_ptsb_flush(self, info):
+        """Code-centric consistency flushed a PTSB on region entry;
+        ``info`` has the flushing ``tid`` and the ``region`` kind."""
+
+    def on_t2p(self, info):
+        """A thread-to-process conversion episode ran; ``info`` has
+        ``cycle``, ``threads`` converted, total ``cycles`` charged, and
+        ``mode`` (``initial`` stop-the-world batch or ``adopt`` for a
+        thread created after repair began)."""
+
+    # ------------------------------------------------------------------
+    # machine / sampling (observability hooks)
+    # ------------------------------------------------------------------
+    def on_hitm(self, event):
+        """One hardware HITM (:class:`~repro.sim.events.HitmEvent`).
+
+        Only observers that override this are registered as machine
+        HITM listeners — the base class costs nothing.
+        """
+
+    def on_pebs_records(self, records):
+        """The detection thread drained a batch of
+        :class:`~repro.oskit.perf.PebsRecord` samples."""
+
+    def on_detect_interval(self, report, cycle):
+        """The detector finished one interval analysis at machine time
+        ``cycle``; ``report`` is its
+        :class:`~repro.core.detector.IntervalReport`."""
+
+
+class ObserverMux(EngineObserver):
+    """Fans every observer callback out to an ordered list of children.
+
+    ``Engine.attach_observer`` builds one automatically when a second
+    observer attaches (e.g. the race sanitizer plus a tracer), so
+    concrete observers never need to know about each other.  The mux
+    overrides *every* callback: the engine's override checks (which
+    decide e.g. HITM listener registration) therefore see the union of
+    the children's needs.
+    """
+
+    def __init__(self, observers=()):
+        self.observers = list(observers)
+
+    def add(self, observer):
+        """Append one child observer."""
+        self.observers.append(observer)
+
+
+def _fanout(name):
+    def method(self, *args):
+        for observer in self.observers:
+            getattr(observer, name)(*args)
+    method.__name__ = name
+    method.__doc__ = f"Fan ``{name}`` out to every child observer."
+    return method
+
+
+for _name in ("on_attach", "on_access", "on_atomic", "on_fence",
+              "on_acquire", "on_release", "on_barrier", "on_hb_edge",
+              "on_thread_create", "on_thread_exit", "on_ptsb_commit",
+              "on_ptsb_flush", "on_t2p", "on_hitm", "on_pebs_records",
+              "on_detect_interval"):
+    setattr(ObserverMux, _name, _fanout(_name))
+del _name

@@ -46,6 +46,13 @@ class RepairManager:
                 record = self.monitor.convert_all_threads(eng, stop_time)
                 self.stats.conversions.append(record)
                 self.stats.repair_trigger_cycle = stop_time
+                observer = eng._observer
+                if observer is not None:
+                    observer.on_t2p({
+                        "cycle": stop_time,
+                        "threads": record.thread_count,
+                        "cycles": record.total_cycles,
+                        "mode": "initial"})
                 for process in self._app_processes(eng):
                     self._install_ptsb(process)
                 self.converted = True
@@ -69,8 +76,12 @@ class RepairManager:
                 thread.core, "thread_create")
         process = engine.convert_thread_to_process(thread)
         self._install_ptsb(process)
-        thread.pending_penalty += (engine.costs.fork
-                                   + engine.costs.trampoline)
+        cost = engine.costs.fork + engine.costs.trampoline
+        thread.pending_penalty += cost
+        observer = engine._observer
+        if observer is not None:
+            observer.on_t2p({"cycle": engine.machine.now, "threads": 1,
+                             "cycles": cost, "mode": "adopt"})
 
     # ------------------------------------------------------------------
     def _app_processes(self, engine):

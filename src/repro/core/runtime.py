@@ -205,6 +205,10 @@ class TmiRuntime(RuntimeHooks):
         if decision.flush_ptsb:
             cost += self._commit(thread, kind)
             self.stats.ptsb_flushes += 1
+            observer = engine._observer
+            if observer is not None:
+                observer.on_ptsb_flush({"tid": thread.tid,
+                                        "region": kind})
         return cost
 
     def on_region_end(self, engine, thread, kind):
@@ -221,6 +225,9 @@ class TmiRuntime(RuntimeHooks):
         self.stats.intervals += 1
         records = self.perf.drain()
         self.stats.records_seen += len(records)
+        observer = engine._observer
+        if observer is not None and records:
+            observer.on_pebs_records(records)
         self.detector.address_map = AddressMap.from_aspace(
             engine.root_aspace)
         self.detector.add_records(records)
@@ -228,6 +235,8 @@ class TmiRuntime(RuntimeHooks):
                                        self.config.period)
         engine.machine.advance(engine.service_core,
                                self.detector.analysis_cost(engine.costs))
+        if observer is not None:
+            observer.on_detect_interval(report, now)
         if (self.repair is not None and self.config.enable_repair
                 and report.targets):
             self.repair.request_repair(engine, report.targets,
@@ -247,6 +256,37 @@ class TmiRuntime(RuntimeHooks):
         if self.repair is not None and self.repair.converted:
             report["ptsb"] = self.stats.twin_bytes_peak * 2
         return report
+
+    def fill_metrics(self, engine, registry):
+        """Typed TMI metrics on top of the generic report ingestion.
+
+        Adds counters for the detection/repair pipeline (intervals,
+        PEBS records, commits, flushes) and a histogram of per-commit
+        merged byte counts, so commit behaviour is visible as a
+        distribution rather than only a total.
+        """
+        super().fill_metrics(engine, registry)
+        stats = self.stats
+        system = self.name
+        registry.counter("tmi.intervals", system=system).inc(
+            stats.intervals)
+        registry.counter("tmi.pebs_records", system=system).inc(
+            stats.records_seen)
+        registry.counter("tmi.commits", system=system).inc(stats.commits)
+        registry.counter("tmi.commit_pages", system=system).inc(
+            stats.commit_pages)
+        registry.counter("tmi.commit_bytes", system=system).inc(
+            stats.commit_bytes)
+        registry.counter("tmi.ptsb_flushes", system=system).inc(
+            stats.ptsb_flushes)
+        registry.gauge("tmi.protected_pages", system=system).set(
+            stats.protected_pages)
+        registry.gauge("tmi.twin_bytes_peak", system=system).set(
+            stats.twin_bytes_peak)
+        histogram = registry.histogram("tmi.commit_size_bytes",
+                                       system=system)
+        for size in stats.commit_sizes:
+            histogram.observe(size)
 
     def report(self, engine):
         out = {"stage": self.stage}

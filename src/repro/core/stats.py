@@ -22,12 +22,16 @@ class TmiStats:
     ptsb_flushes: int = 0
     relaxed_fast_path: int = 0
     twin_bytes_peak: int = 0
+    #: Per-commit merged byte counts (feeds the commit-size histogram
+    #: on the metrics surface).
+    commit_sizes: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def note_commit(self, info):
         self.commits += 1
         self.commit_pages += info.get("pages", 0)
         self.commit_bytes += info.get("bytes", 0)
+        self.commit_sizes.append(info.get("bytes", 0))
 
     def t2p_microseconds(self, costs):
         """Mean thread->process conversion latency (Table 3, T2P us)."""

@@ -36,25 +36,30 @@ class ThreadCtx:
     # ------------------------------------------------------------------
     @property
     def tid(self):
+        """This thread's id (pthread_self analog)."""
         return self._thread.tid
 
     @property
     def name(self):
+        """The name given at spawn (empty for anonymous threads)."""
         return self._thread.name
 
     @property
     def nthreads(self):
+        """The program's configured worker count."""
         return self._engine.program.nthreads
 
     # ------------------------------------------------------------------
     # plain data accesses
     # ------------------------------------------------------------------
     def load(self, addr, width=8, site=None, volatile=False):
+        """Plain load of ``width`` bytes at ``addr``; returns the value."""
         site = site or self._auto_site("load", width)
         value = yield O.Load(site, addr, width, volatile)
         return value
 
     def store(self, addr, value, width=8, site=None, volatile=False):
+        """Plain store of ``value`` (``width`` bytes) at ``addr``."""
         site = site or self._auto_site("store", width)
         yield O.Store(site, addr, value, width, volatile)
 
@@ -83,14 +88,17 @@ class ThreadCtx:
                           value, volatile)
 
     def compute(self, cycles):
+        """Pure computation for ``cycles`` (no memory traffic)."""
         yield O.Compute(cycles)
 
     def bulk_touch(self, addr, nbytes, is_write=False, site=None):
+        """Touch ``nbytes`` from ``addr`` line by line (memset/memcpy)."""
         site = site or self._auto_site(
             "store" if is_write else "load", 8)
         yield O.BulkTouch(site, addr, nbytes, is_write)
 
     def fence(self, site=None):
+        """Full memory fence (mfence)."""
         yield O.Fence(site or self._auto_site("other", 0))
 
     # ------------------------------------------------------------------
@@ -107,6 +115,7 @@ class ThreadCtx:
 
     def atomic_xchg(self, addr, value, width=8, ordering=O.SEQ_CST,
                     site=None):
+        """exchange; returns the old value."""
         site = site or self._auto_site("atomic", width)
         yield O.RegionBegin(O.REGION_ATOMIC, ordering)
         old = yield O.AtomicRMW(site, addr, "xchg", value, width, ordering)
@@ -124,6 +133,7 @@ class ThreadCtx:
         return old
 
     def atomic_load(self, addr, width=8, ordering=O.SEQ_CST, site=None):
+        """C11 atomic load; returns the value."""
         site = site or self._auto_site("atomic", width)
         yield O.RegionBegin(O.REGION_ATOMIC, ordering)
         value = yield O.AtomicLoad(site, addr, width, ordering)
@@ -132,6 +142,7 @@ class ThreadCtx:
 
     def atomic_store(self, addr, value, width=8, ordering=O.SEQ_CST,
                      site=None):
+        """C11 atomic store."""
         site = site or self._auto_site("atomic", width)
         yield O.RegionBegin(O.REGION_ATOMIC, ordering)
         yield O.AtomicStore(site, addr, value, width, ordering)
@@ -145,16 +156,19 @@ class ThreadCtx:
         yield O.RegionBegin(O.REGION_ASM)
 
     def asm_end(self):
+        """Leave the current inline-assembly region."""
         yield O.RegionEnd(O.REGION_ASM)
 
     # ------------------------------------------------------------------
     # volatile flag synchronization (old-style C, Figure 12)
     # ------------------------------------------------------------------
     def volatile_load(self, addr, width=4, site=None):
+        """Load through a ``volatile``-qualified pointer."""
         value = yield from self.load(addr, width, site, volatile=True)
         return value
 
     def volatile_store(self, addr, value, width=4, site=None):
+        """Store through a ``volatile``-qualified pointer."""
         yield from self.store(addr, value, width, site, volatile=True)
 
     def spin_while_equal(self, addr, value, width=4, site=None,
@@ -180,10 +194,12 @@ class ThreadCtx:
     # heap
     # ------------------------------------------------------------------
     def malloc(self, size, align=0):
+        """Allocate ``size`` heap bytes; returns the address."""
         addr = yield O.Malloc(size, align)
         return addr
 
     def free(self, addr):
+        """Release a ``malloc`` allocation."""
         yield O.FreeOp(addr)
 
     # ------------------------------------------------------------------
@@ -200,18 +216,22 @@ class ThreadCtx:
         return self._engine.register_mutex(self._thread, addr, name)
 
     def barrier(self, parties, name=""):
+        """pthread_barrier_init for ``parties`` threads."""
         addr = yield O.Malloc(self._engine.sync_object_size("barrier"), 8)
         barrier = self._engine.register_barrier(self._thread, addr,
                                                 parties, name)
         return barrier
 
     def lock(self, mutex):
+        """pthread_mutex_lock (blocks until acquired)."""
         yield O.MutexLock(mutex)
 
     def unlock(self, mutex):
+        """pthread_mutex_unlock."""
         yield O.MutexUnlock(mutex)
 
     def barrier_wait(self, barrier):
+        """pthread_barrier_wait (blocks until all parties arrive)."""
         yield O.BarrierWait(barrier)
 
     def condvar(self, name=""):
@@ -226,9 +246,11 @@ class ThreadCtx:
         yield O.CondWait(condvar, mutex)
 
     def cond_signal(self, condvar):
+        """pthread_cond_signal: wake one waiter."""
         yield O.CondSignal(condvar)
 
     def cond_broadcast(self, condvar):
+        """pthread_cond_broadcast: wake every waiter."""
         yield O.CondSignal(condvar, broadcast=True)
 
     def spawn(self, body, name=""):
@@ -237,6 +259,7 @@ class ThreadCtx:
         return tid
 
     def join(self, tid):
+        """pthread_join: block until ``tid`` exits."""
         yield O.ThreadJoin(tid)
 
     # ------------------------------------------------------------------
@@ -247,4 +270,5 @@ class ThreadCtx:
         return self._engine.stack_base(self._thread.tid)
 
     def now_cycles(self):
+        """This thread's core clock in simulated cycles (rdtsc)."""
         return self._engine.machine.core_clock[self._thread.core]

@@ -130,6 +130,21 @@ class RuntimeHooks:
         """Runtime-specific memory overheads in bytes, by category."""
         return {}
 
+    def fill_metrics(self, engine, registry):
+        """Fold runtime statistics into a
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        The default folds the legacy ``report()`` dict (when the
+        runtime defines one) under ``runtime.*`` gauges labeled with
+        the runtime's name, so every system participates in the
+        metrics surface without bespoke code; runtimes with richer
+        statistics (TMI) override this and add typed instruments.
+        """
+        report = getattr(self, "report", None)
+        if callable(report):
+            registry.ingest("runtime", report(engine),
+                            system=self.name)
+
     # ------------------------------------------------------------------
     # conveniences shared by concrete runtimes
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ def stack_base(tid):
 
 
 def heap_end(heap_bytes):
+    """First address past a heap of ``heap_bytes``."""
     return HEAP_BASE + heap_bytes
 
 

@@ -87,8 +87,10 @@ class RunResult:
 
     @property
     def hitm_total(self):
+        """HITM loads + HITM stores."""
         return self.hitm_loads + self.hitm_stores
 
     @property
     def total_memory(self):
+        """Total footprint across every memory category (bytes)."""
         return sum(self.memory_bytes.values())

@@ -137,14 +137,30 @@ class Engine:
     # public API
     # ------------------------------------------------------------------
     def attach_observer(self, observer):
-        """Attach one analysis observer (see :mod:`repro.analysis`).
+        """Attach an analysis observer (see :mod:`repro.analysis`).
 
         Must happen before :meth:`run`.  Observer callbacks charge no
-        cycles; with no observer attached none are emitted.
+        cycles; with no observer attached none are emitted.  A second
+        attach wraps both observers in an
+        :class:`~repro.analysis.observer.ObserverMux`, so the race
+        sanitizer and a tracer can ride the same run.
+
+        Observers that override ``on_hitm`` (the tracer) are also
+        registered as machine HITM listeners; the listener charges zero
+        cycles, so simulated results are unchanged.
         """
-        if self._observer is not None:
-            raise SimulationError("an observer is already attached")
-        self._observer = observer
+        from repro.analysis.observer import EngineObserver, ObserverMux
+        if self._observer is None:
+            self._observer = observer
+        elif isinstance(self._observer, ObserverMux):
+            self._observer.add(observer)
+        else:
+            self._observer = ObserverMux([self._observer, observer])
+        if type(observer).on_hitm is not EngineObserver.on_hitm:
+            def _hitm_listener(event, _observer=observer):
+                _observer.on_hitm(event)
+                return 0
+            self.machine.add_hitm_listener(_hitm_listener)
         observer.on_attach(self)
 
     def run(self):
@@ -284,10 +300,12 @@ class Engine:
     # sync object registration (pthread_*_init interposition points)
     # ------------------------------------------------------------------
     def sync_object_size(self, kind):
+        """sizeof(pthread_<kind>_t) for the workload's malloc call."""
         return {"mutex": Mutex.SIZE, "barrier": Barrier.SIZE,
                 "condvar": Condvar.SIZE}[kind]
 
     def register_mutex(self, thread, addr, name=""):
+        """pthread_mutex_init: create a mutex at ``addr``."""
         self._mutex_ids += 1
         mutex = Mutex(mid=self._mutex_ids, addr=addr, name=name)
         self.sync_objects.append(mutex)
@@ -296,6 +314,7 @@ class Engine:
         return mutex
 
     def register_barrier(self, thread, addr, parties, name=""):
+        """pthread_barrier_init for ``parties`` threads at ``addr``."""
         self._barrier_ids += 1
         barrier = Barrier(bid=self._barrier_ids, addr=addr, parties=parties,
                           name=name)
@@ -305,6 +324,7 @@ class Engine:
         return barrier
 
     def register_condvar(self, thread, addr, name=""):
+        """pthread_cond_init: create a condvar at ``addr``."""
         self._condvar_ids += 1
         condvar = Condvar(cid=self._condvar_ids, addr=addr, name=name)
         self.sync_objects.append(condvar)
@@ -313,6 +333,7 @@ class Engine:
         return condvar
 
     def stack_base(self, tid):
+        """Base VA of ``tid``'s stack mapping."""
         return layout.stack_base(tid)
 
     # ------------------------------------------------------------------
@@ -963,15 +984,63 @@ class Engine:
     # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------
-    def _build_result(self):
-        machine = self.machine
+    def _fault_counts(self):
+        """Page-fault totals by kind, summed over every process."""
         faults = {"anon": 0, "shared_file": 0, "cow": 0}
         for proc in self.processes.values():
             for kind, count in proc.aspace.fault_count.items():
                 faults[kind] += count
-        threads = self.threads.values()
+        return faults
+
+    def _memory_by_category(self):
+        """Memory footprint by category (application + runtime)."""
         memory = {"application": self._app_memory_bytes()}
         memory.update(self.runtime.memory_report(self))
+        return memory
+
+    def metrics(self, registry=None):
+        """Collect the run's metrics into a
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        One deterministic, labeled namespace over the machine
+        (HITM/clock counters), the engine (ops, threads, faults,
+        memory), and the active runtime (via its ``fill_metrics``
+        hook).  Purely end-of-run reads — collecting metrics never
+        perturbs simulated state, and the snapshot is byte-identical
+        for identical simulations regardless of ``REPRO_JOBS``.
+        """
+        from repro.obs import MetricsRegistry
+        if registry is None:
+            registry = MetricsRegistry()
+        self.machine.fill_metrics(registry)
+        threads = self.threads.values()
+        registry.gauge("engine.threads").set(len(self.threads))
+        registry.gauge("engine.processes").set(len(self.processes))
+        registry.counter("engine.loads").inc(
+            sum(t.loads for t in threads))
+        registry.counter("engine.stores").inc(
+            sum(t.stores for t in threads))
+        registry.counter("engine.atomics").inc(
+            sum(t.atomics for t in threads))
+        registry.counter("engine.sync_ops").inc(
+            sum(t.sync_ops for t in threads))
+        registry.counter("engine.ops").inc(
+            sum(t.ops for t in threads))
+        for kind, count in sorted(self._fault_counts().items()):
+            registry.counter("vm.faults", kind=kind).inc(count)
+        for category, nbytes in sorted(
+                self._memory_by_category().items()):
+            registry.gauge("memory.bytes", category=category).set(nbytes)
+        registry.gauge("alloc.bytes").set(
+            self.allocator.allocated_bytes)
+        self.runtime.fill_metrics(self, registry)
+        return registry
+
+    def _build_result(self):
+        machine = self.machine
+        faults = self._fault_counts()
+        threads = self.threads.values()
+        memory = self._memory_by_category()
         validated = True
         error = ""
         if self.program.validate is not None:
@@ -999,6 +1068,7 @@ class Engine:
         )
 
     def runtime_report(self):
+        """The runtime's end-of-run ``report()`` dict ({} if none)."""
         report = getattr(self.runtime, "report", None)
         if callable(report):
             return report(self)

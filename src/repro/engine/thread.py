@@ -72,10 +72,12 @@ class SimThread:
 
     @property
     def in_atomic_region(self):
+        """Whether the thread is inside an atomic consistency region."""
         return any(kind == "atomic" for kind, _ in self.region_stack)
 
     @property
     def in_asm_region(self):
+        """Whether the thread is inside an inline-assembly region."""
         return any(kind == "asm" for kind, _ in self.region_stack)
 
     def __repr__(self):

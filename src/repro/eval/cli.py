@@ -6,6 +6,9 @@ Regenerate any paper artifact without pytest::
     python -m repro.eval.cli table3
     python -m repro.eval.cli run histogramfs tmi-protect --scale 0.5
     python -m repro.eval.cli run racy-flag pthreads --sanitize
+    python -m repro.eval.cli run histogramfs tmi-protect --profile
+    python -m repro.eval.cli trace histogramfs tmi-protect --scale 0.3
+    python -m repro.eval.cli metrics histogramfs tmi-protect
     python -m repro.eval.cli lint histogramfs
     python -m repro.eval.cli lint all --scale 0.05
     python -m repro.eval.cli fuzz --seeds 16 --budget 60
@@ -45,6 +48,7 @@ _NO_SCALE = {"table2"}
 
 
 def build_parser():
+    """Build the full argparse tree for ``python -m repro.eval.cli``."""
     parser = argparse.ArgumentParser(
         prog="repro.eval",
         description="Regenerate the TMI paper's tables and figures.")
@@ -69,6 +73,36 @@ def build_parser():
     run.add_argument("--sanitize", action="store_true",
                      help="attach the vector-clock race sanitizer "
                           "(zero cycle impact); nonzero exit on races")
+    run.add_argument("--profile", action="store_true",
+                     help="attribute host wall time to simulator "
+                          "subsystems (simulated cycles unchanged)")
+
+    trace = sub.add_parser(
+        "trace", help="run one cell with the tracer attached and "
+                      "export the event stream")
+    trace.add_argument("workload", choices=sorted(all_names()))
+    trace.add_argument("system", choices=sorted(SYSTEM_NAMES))
+    trace.add_argument("--scale", type=float, default=1.0)
+    trace.add_argument("--out", default=None,
+                       help="output path (default results/"
+                            "trace-<workload>-<system>.json)")
+    trace.add_argument("--format", dest="fmt", default="chrome",
+                       choices=("chrome", "jsonl", "both"),
+                       help="chrome = Perfetto/chrome://tracing "
+                            "trace.json; jsonl = one event per line")
+    trace.add_argument("--access", action="store_true",
+                       help="also record every data access "
+                            "(large traces; off by default)")
+
+    metrics = sub.add_parser(
+        "metrics", help="run one cell and snapshot its metrics "
+                        "registry as JSON")
+    metrics.add_argument("workload", choices=sorted(all_names()))
+    metrics.add_argument("system", choices=sorted(SYSTEM_NAMES))
+    metrics.add_argument("--scale", type=float, default=1.0)
+    metrics.add_argument("--out", default=None,
+                         help="write the snapshot here instead of "
+                              "stdout")
 
     lint = sub.add_parser(
         "lint", help="statically lint workload(s); no simulation")
@@ -113,6 +147,7 @@ def build_parser():
 
 
 def main(argv=None):
+    """Entry point: dispatch one parsed subcommand; returns exit code."""
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
@@ -139,7 +174,8 @@ def main(argv=None):
     if args.command == "run":
         outcome = run_workload(args.workload, args.system,
                                scale=args.scale,
-                               sanitize=args.sanitize)
+                               sanitize=args.sanitize,
+                               profile=args.profile)
         print(f"{args.workload} under {args.system}: {outcome.status}")
         if outcome.result is not None:
             result = outcome.result
@@ -158,6 +194,56 @@ def main(argv=None):
             print(outcome.analysis.format())
             if not outcome.analysis.ok:
                 return 1
+        if outcome.profile is not None:
+            from repro.obs import format_profile
+            print(format_profile(outcome.profile))
+        return 0 if outcome.ok else 1
+
+    if args.command == "trace":
+        from repro.eval.report import results_dir
+        from repro.obs import write_chrome_trace, write_jsonl
+        outcome = run_workload(
+            args.workload, args.system, scale=args.scale,
+            trace="access" if args.access else True)
+        print(f"{args.workload} under {args.system}: {outcome.status}")
+        if outcome.trace_data is None:
+            if outcome.detail:
+                print(f"  detail: {outcome.detail}")
+            return 1
+        counts = outcome.trace_data["counts"]
+        total = sum(counts.values())
+        print(f"  {total} events: " + ", ".join(
+            f"{kind}={n}" for kind, n in counts.items()))
+        out = args.out or os.path.join(
+            results_dir(), f"trace-{args.workload}-{args.system}.json")
+        if args.fmt in ("chrome", "both"):
+            write_chrome_trace(outcome.trace_data, out)
+            print(f"[saved {out}] (open in ui.perfetto.dev or "
+                  "chrome://tracing)")
+        if args.fmt in ("jsonl", "both"):
+            jsonl = (out if args.fmt == "jsonl"
+                     else os.path.splitext(out)[0] + ".jsonl")
+            write_jsonl(outcome.trace_data, jsonl)
+            print(f"[saved {jsonl}]")
+        return 0 if outcome.ok else 1
+
+    if args.command == "metrics":
+        outcome = run_workload(args.workload, args.system,
+                               scale=args.scale, collect_metrics=True)
+        if outcome.metrics is None:
+            print(f"{args.workload} under {args.system}: "
+                  f"{outcome.status}")
+            if outcome.detail:
+                print(f"  detail: {outcome.detail}")
+            return 1
+        import json
+        text = json.dumps(outcome.metrics, indent=1, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"[saved {args.out}]")
+        else:
+            print(text)
         return 0 if outcome.ok else 1
 
     if args.command == "fuzz":
@@ -190,8 +276,11 @@ def main(argv=None):
               + (f" ({result.outcome.detail})"
                  if result.outcome.detail else ""))
         print(f"  {result.detail()}")
-        print("  reproduced" if result.matches else "  DID NOT reproduce")
-        return 0 if result.matches else 1
+        if result.matches:
+            print("  reproduced")
+            return 0
+        print(f"  DID NOT reproduce (artifact: {args.artifact})")
+        return 1
 
     fn = EXPERIMENTS[args.command]
     kwargs = {}
@@ -207,4 +296,9 @@ def main(argv=None):
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # `... | head` closed stdout; exit quietly like other CLIs do.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

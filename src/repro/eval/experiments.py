@@ -22,12 +22,15 @@ MB = 1024 * 1024
 
 @dataclass
 class ExperimentResult:
+    """One regenerated table/figure: data, rendered text, and notes."""
+
     name: str
     data: dict
     text: str
     notes: list = field(default_factory=list)
 
     def save(self):
+        """Write the rendered text under results/; returns the path."""
         return save_text(f"{self.name}.txt", self.text)
 
 

@@ -9,6 +9,7 @@ reports, not harness errors.  The same applies to schedule fuzzing:
 harness.
 """
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.engine import Engine
@@ -42,19 +43,29 @@ class RunOutcome:
     trace: object = None
     #: Workload final-state digest (``collect_state=True``, ok runs).
     final_state: object = None
+    #: Tracer events as a plain ``repro-trace/1`` dict (``trace=True``);
+    #: feed it to :func:`repro.obs.write_chrome_trace` / ``write_jsonl``.
+    trace_data: object = None
+    #: MetricsRegistry snapshot dict (``collect_metrics=True``).
+    metrics: object = None
+    #: Host wall-time attribution dict (``profile=True``).
+    profile: object = None
 
     @property
     def ok(self):
+        """Whether the run completed with status ``ok``."""
         return self.status == OK
 
     @property
     def cycles(self):
+        """Simulated cycle count, or None when no result exists."""
         return self.result.cycles if self.result else None
 
 
 def run_workload(name, system, scale=1.0, config=None, variant=None,
                  nthreads=None, sanitize=False, schedule=None,
-                 max_cycles=None, collect_state=False):
+                 max_cycles=None, collect_state=False, trace=False,
+                 collect_metrics=False, profile=False):
     """Run one workload under one system; never raises for the failure
     modes the paper studies.
 
@@ -70,9 +81,27 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
     the simulated cycle budget (livelock detection for fuzzed
     schedules).  ``collect_state=True`` computes the workload's
     schedule-independent final-state digest on ok runs.
+
+    Observability (see :mod:`repro.obs`): ``trace=True`` attaches a
+    :class:`~repro.obs.Tracer` (``trace="access"`` additionally records
+    every data access) and puts its event dict on ``trace_data``;
+    ``collect_metrics=True`` snapshots the run's
+    :class:`~repro.obs.MetricsRegistry` onto ``metrics``;
+    ``profile=True`` attributes host wall time to simulator subsystems
+    onto ``profile``.  All three are observer-/wrapper-based and leave
+    simulated cycles bit-identical.
     """
-    workload = get_workload(name, scale=scale, nthreads=nthreads)
-    program = workload.build(variant or workload_variant(system))
+    profiler = None
+    if profile:
+        from repro.obs import Profiler
+        profiler = Profiler()
+
+    def phase(stage):
+        return profiler.phase(stage) if profiler else nullcontext()
+
+    with phase("build"):
+        workload = get_workload(name, scale=scale, nthreads=nthreads)
+        program = workload.build(variant or workload_variant(system))
     runtime = make_runtime(system, config)
     policy = None
     if schedule is not None:
@@ -82,7 +111,9 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
     if max_cycles is not None:
         engine_kwargs["max_cycles"] = max_cycles
     try:
-        engine = Engine(program, runtime, policy=policy, **engine_kwargs)
+        with phase("engine-init"):
+            engine = Engine(program, runtime, policy=policy,
+                            **engine_kwargs)
     except IncompatibleWorkloadError as exc:
         return RunOutcome(name, system, INCOMPATIBLE, detail=exc.reason)
     sanitizer = None
@@ -90,6 +121,13 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
         from repro.analysis import RaceSanitizer
         sanitizer = RaceSanitizer()
         engine.attach_observer(sanitizer)
+    tracer = None
+    if trace:
+        from repro.obs import Tracer
+        tracer = Tracer(access_events=trace == "access")
+        engine.attach_observer(tracer)
+    if profiler is not None:
+        profiler.install(engine)
     report = sanitizer.report if sanitizer else None
 
     def outcome(status, result=None, detail=""):
@@ -98,10 +136,17 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
                          trace=engine.schedule_trace())
         if collect_state and status == OK:
             out.final_state = workload.final_state(program.env, engine)
+        if tracer is not None:
+            out.trace_data = tracer.trace_data()
+        if collect_metrics:
+            out.metrics = engine.metrics().snapshot()
+        if profiler is not None:
+            out.profile = profiler.report()
         return out
 
     try:
-        result = engine.run()
+        with phase("run"):
+            result = engine.run()
     except CycleBudgetError as exc:
         return outcome(BUDGET, detail=str(exc))
     except HangError as exc:

@@ -1,0 +1,33 @@
+"""Observability layer: structured tracing, metrics, self-profiling.
+
+Three zero-overhead-when-off tools over the simulator (see
+``docs/ARCHITECTURE.md`` for how they sit in the layer map):
+
+- :class:`Tracer` — an engine observer that streams versioned JSONL
+  events and exports a Perfetto/``chrome://tracing`` ``trace.json``
+  (one track per core, per thread, and per TMI monitor), covering
+  HITM events, PEBS samples, detector decisions, T2P conversions, and
+  PTSB commits/flushes;
+- :class:`MetricsRegistry` — labeled counters/gauges/histograms with
+  deterministic JSON snapshots, replacing the ad-hoc end-of-run stat
+  dicts;
+- :class:`Profiler` — host wall-time attribution per simulator
+  subsystem (the ``--profile`` CLI mode), so perf work knows where to
+  aim.
+
+Tracing off is the default everywhere and costs nothing: observers
+attach through ``Engine.attach_observer``, which charges zero cycles,
+and the cycle-exactness goldens pin bit-identical results.
+"""
+
+from repro.obs.metrics import (DEFAULT_BUCKETS, METRICS_VERSION, Counter,
+                               Gauge, Histogram, MetricsRegistry)
+from repro.obs.profile import Profiler, format_profile
+from repro.obs.tracer import (TRACE_VERSION, Tracer, write_chrome_trace,
+                              write_jsonl)
+
+__all__ = [
+    "DEFAULT_BUCKETS", "METRICS_VERSION", "Counter", "Gauge",
+    "Histogram", "MetricsRegistry", "Profiler", "TRACE_VERSION",
+    "Tracer", "format_profile", "write_chrome_trace", "write_jsonl",
+]

@@ -1,0 +1,197 @@
+"""Metrics registry: typed, labeled instruments with JSON snapshots.
+
+The registry replaces the ad-hoc stat dicts that used to be assembled
+at the end of a run (``Machine`` counters, ``RunResult.faults``, the
+runtimes' ``report()`` dicts): every producer now fills one
+:class:`MetricsRegistry` through a first-class instrument API, and the
+snapshot is a single deterministic JSON document (sorted keys, stable
+label rendering) that is byte-identical for identical simulations —
+including across ``REPRO_JOBS`` worker counts, which the test suite
+pins.
+
+Three instrument kinds, following the Prometheus vocabulary:
+
+- :class:`Counter` — monotonically increasing totals (HITM events,
+  PTSB commits);
+- :class:`Gauge` — point-in-time values (twin bytes peak, per-core
+  clocks);
+- :class:`Histogram` — bucketed distributions (commit sizes, detector
+  interval record counts).
+
+Instruments are identified by ``(name, labels)``; asking for the same
+identity twice returns the same instrument, so independent subsystems
+can accumulate into shared families.
+"""
+
+import json
+
+#: Snapshot format version; bump when the JSON layout changes.
+METRICS_VERSION = "repro-metrics/1"
+
+#: Default histogram bucket upper bounds (powers of four: wide enough
+#: for byte counts and record counts alike).
+DEFAULT_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
+
+
+def _label_key(labels):
+    """Render a label dict into the canonical ``{k=v,...}`` suffix."""
+    if not labels:
+        return ""
+    parts = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return "{" + parts + "}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter decremented by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move in either direction."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        """Replace the gauge's value."""
+        self.value = value
+
+    def add(self, amount):
+        """Shift the gauge by ``amount`` (either sign)."""
+        self.value += amount
+
+
+class Histogram:
+    """A bucketed distribution with count and sum.
+
+    ``buckets`` are inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches the overflow, so ``observe`` never drops a sample.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum")
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, value):
+        """Record one sample."""
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+
+class MetricsRegistry:
+    """A namespace of named, labeled instruments.
+
+    The registry is cheap to create and entirely passive: nothing in
+    it runs on the simulator's hot paths unless a producer explicitly
+    increments an instrument, and end-of-run collection (``Machine.
+    fill_metrics``, ``Engine.metrics``) only reads state that already
+    exists.
+    """
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # ------------------------------------------------------------------
+    # instrument access (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name, **labels):
+        """The :class:`Counter` for ``(name, labels)``."""
+        key = name + _label_key(labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name, **labels):
+        """The :class:`Gauge` for ``(name, labels)``."""
+        key = name + _label_key(labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name, buckets=DEFAULT_BUCKETS, **labels):
+        """The :class:`Histogram` for ``(name, labels)``."""
+        key = name + _label_key(labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # bulk ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, prefix, mapping, **labels):
+        """Fold a plain ``{key: number}`` dict into gauges.
+
+        Non-numeric values are stringified into a ``info`` gauge-style
+        entry so legacy ``report()`` dicts survive the migration
+        losslessly.  Nested dicts recurse with a dotted prefix.
+        """
+        for key in sorted(mapping):
+            value = mapping[key]
+            name = f"{prefix}.{key}"
+            if isinstance(value, dict):
+                self.ingest(name, value, **labels)
+            elif isinstance(value, bool):
+                self.gauge(name, **labels).set(int(value))
+            elif isinstance(value, (int, float)):
+                self.gauge(name, **labels).set(value)
+            else:
+                self.gauge(f"{name}.info",
+                           value=str(value), **labels).set(1)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """The registry as one deterministic, JSON-ready dict."""
+        histograms = {}
+        for key in sorted(self._histograms):
+            h = self._histograms[key]
+            buckets = {str(bound): count
+                       for bound, count in zip(h.buckets, h.counts)}
+            buckets["+Inf"] = h.counts[-1]
+            histograms[key] = {"count": h.count, "sum": h.sum,
+                               "buckets": buckets}
+        return {
+            "version": METRICS_VERSION,
+            "counters": {key: self._counters[key].value
+                         for key in sorted(self._counters)},
+            "gauges": {key: self._gauges[key].value
+                       for key in sorted(self._gauges)},
+            "histograms": histograms,
+        }
+
+    def to_json(self, indent=None):
+        """Serialize :meth:`snapshot` to a canonical JSON string."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def save(self, path, indent=1):
+        """Write the JSON snapshot to ``path``; returns the path."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json(indent=indent) + "\n")
+        return path

@@ -254,10 +254,27 @@ class SmokeResult:
         return all(passed for _, passed, _ in self.checks)
 
     def summary_lines(self):
+        """Check verdicts; on failure, every finding's replay artifact.
+
+        The artifact paths are the actionable part of a failing smoke
+        run — ``python -m repro.eval.cli replay <path>`` re-executes
+        the exact interleaving — so CI output must carry them.  A
+        passing run stays terse (the positive control finds races by
+        design; listing those would be noise).
+        """
         lines = []
         for name, passed, detail in self.checks:
             mark = "PASS" if passed else "FAIL"
             lines.append(f"[{mark}] {name}: {detail}")
+        if self.ok:
+            return lines
+        artifacts = [
+            f"  {phase} seed {f.seed} ({f.kind}) -> {f.artifact}"
+            for phase, report in self.reports.items()
+            for f in report.findings if f.artifact]
+        if artifacts:
+            lines.append("replay artifacts:")
+            lines.extend(artifacts)
         return lines
 
 

@@ -98,12 +98,15 @@ class Mapping:
 
     @property
     def end(self):
+        """First VA past the mapping."""
         return self.start + self.nbytes
 
     def page_index(self, va):
+        """Index of the page holding ``va`` within this mapping."""
         return (va - self.start) // self.page_size
 
     def page_state(self, index):
+        """The (lazily created) per-page state for ``index``."""
         state = self.pages.get(index)
         if state is None:
             state = PageState(mode=self.mode)

@@ -31,6 +31,7 @@ class AccessOutcome:
 
     @property
     def hitm(self):
+        """Whether any accessed line hit remote-Modified."""
         return bool(self.hitm_remotes)
 
 

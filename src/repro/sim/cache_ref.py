@@ -29,6 +29,7 @@ class RefOutcome:
 
     @property
     def hitm(self):
+        """Whether any accessed line hit remote-Modified."""
         return bool(self.hitm_remotes)
 
 
@@ -47,6 +48,7 @@ class ReferenceDirectory:
 
     # ------------------------------------------------------------------
     def access(self, core, pa, width, is_write, now=0):
+        """One access from ``core``; returns a costed RefOutcome."""
         out = RefOutcome()
         first = pa & ~(LINE_SIZE - 1)
         last = (pa + width - 1) & ~(LINE_SIZE - 1)
@@ -151,6 +153,7 @@ class ReferenceDirectory:
 
     # ------------------------------------------------------------------
     def flush_range(self, pa, nbytes):
+        """Drop every line overlapping [pa, pa+nbytes) (clflush)."""
         first = pa & ~(LINE_SIZE - 1)
         last = (pa + nbytes - 1) & ~(LINE_SIZE - 1)
         line = first
@@ -160,9 +163,11 @@ class ReferenceDirectory:
             line += LINE_SIZE
 
     def line_holders(self, pa):
+        """{core: MESI state} for the line holding ``pa``."""
         return dict(self._lines.get(pa & ~(LINE_SIZE - 1), {}))
 
     def check_swmr(self):
+        """Assert single-writer/multi-reader holds on every line."""
         for line, holders in self._lines.items():
             writers = [c for c, s in holders.items() if s == MODIFIED]
             if len(writers) > 1:

@@ -75,6 +75,28 @@ class Machine:
         """Advance one core's clock."""
         self.core_clock[core] += cycles
 
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def fill_metrics(self, registry):
+        """Fold machine state into a
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        This is the first-class replacement for reading the machine's
+        counters ad hoc at the end of a run: HITM totals, the machine
+        clock, and per-core clocks all land in one labeled namespace.
+        """
+        directory = self.directory
+        registry.counter("machine.hitm.loads").inc(
+            directory.hitm_load_count)
+        registry.counter("machine.hitm.stores").inc(
+            directory.hitm_store_count)
+        registry.counter("machine.hitm.events").inc(self.hitm_events)
+        registry.gauge("machine.cycles").set(self.now)
+        registry.gauge("machine.cores").set(self.n_cores)
+        for core, clock in enumerate(self.core_clock):
+            registry.gauge("machine.core_cycles", core=core).set(clock)
+
     @property
     def now(self):
         """Machine time = the furthest core clock (wall-clock proxy)."""

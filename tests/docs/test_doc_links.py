@@ -1,0 +1,106 @@
+"""Docs build check: links and code references must resolve.
+
+Covers ``docs/*.md`` plus the root documentation set.  Two contracts:
+
+- every relative markdown link targets a file that exists;
+- every inline-code reference that names a repo path
+  (``src/...``, ``tests/...``) or a ``repro.*`` dotted module/symbol
+  resolves against the tree.
+
+Docs that drift from the code fail here (and in CI's docs step) instead
+of silently rotting.
+"""
+
+import importlib
+import os
+import re
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+#: Documentation whose links/references are enforced.
+DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+        "docs/ARCHITECTURE.md"]
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+_CODE = re.compile(r"`([^`\n]+)`")
+_PATH = re.compile(
+    r"^(src|tests|docs|benchmarks|examples)/[A-Za-z0-9_./*-]+$")
+_MODULE = re.compile(r"^repro(\.[A-Za-z_][A-Za-z0-9_]*)+$")
+
+
+def _strip_fences(text):
+    """Drop fenced code blocks; prose and inline code remain."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def _exists(base_dir, target):
+    path = os.path.normpath(os.path.join(base_dir, target))
+    return os.path.exists(path)
+
+
+def _resolves(ref):
+    """Whether a ``repro.*`` dotted reference imports.
+
+    Tries the full path as a module, then as ``module.attribute`` —
+    ``repro.obs.Tracer`` resolves via ``getattr(repro.obs, "Tracer")``.
+    """
+    try:
+        importlib.import_module(ref)
+        return True
+    except ImportError:
+        pass
+    if "." not in ref:
+        return False
+    module_name, attr = ref.rsplit(".", 1)
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError:
+        return False
+    return hasattr(module, attr)
+
+
+@pytest.mark.parametrize("doc", DOCS)
+class TestDoc:
+    def _text(self, doc):
+        path = os.path.join(REPO, doc)
+        assert os.path.exists(path), f"{doc} missing"
+        return open(path).read()
+
+    def test_relative_links_resolve(self, doc):
+        base_dir = os.path.dirname(os.path.join(REPO, doc))
+        broken = []
+        for target in _LINK.findall(self._text(doc)):
+            if target.startswith(("http://", "https://", "mailto:",
+                                  "#")):
+                continue
+            target = target.split("#")[0]
+            if target and not _exists(base_dir, target):
+                broken.append(target)
+        assert not broken, f"{doc}: broken links {broken}"
+
+    def test_code_path_references_resolve(self, doc):
+        broken = []
+        for ref in _CODE.findall(_strip_fences(self._text(doc))):
+            if not _PATH.match(ref) or "*" in ref or "<" in ref \
+                    or "..." in ref:
+                continue           # globs/placeholders aren't paths
+            if not _exists(REPO, ref):
+                broken.append(ref)
+        assert not broken, f"{doc}: missing files {broken}"
+
+    def test_module_references_resolve(self, doc):
+        broken = []
+        for ref in _CODE.findall(_strip_fences(self._text(doc))):
+            if _MODULE.match(ref) and not _resolves(ref):
+                broken.append(ref)
+        assert not broken, f"{doc}: unresolvable modules {broken}"

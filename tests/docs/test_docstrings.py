@@ -1,0 +1,77 @@
+"""Public-API docstring presence (local stand-in for ruff's D1 rules).
+
+CI additionally runs ruff with pydocstyle's presence rules on
+``src/repro/obs`` and ``src/repro/eval``; this test enforces the same
+contract — plus the engine and sim packages, whose classes are the
+extension surface ``docs/ARCHITECTURE.md`` documents — without needing
+ruff installed.
+"""
+
+import ast
+import os
+
+import repro
+
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+#: Packages whose public defs must carry docstrings.
+PACKAGES = ("repro/obs", "repro/eval", "repro/engine", "repro/sim")
+
+#: Dunders exempt from the presence rule (ruff's D105/D107 stance).
+_EXEMPT = {"__init__", "__repr__", "__str__", "__eq__", "__hash__",
+           "__len__", "__iter__", "__contains__", "__enter__",
+           "__exit__", "__post_init__"}
+
+
+def _is_public(name):
+    return not name.startswith("_") or (name.startswith("__")
+                                        and name.endswith("__"))
+
+
+def _missing_in(path):
+    tree = ast.parse(open(path).read(), filename=path)
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append("<module>")
+
+    def visit(node, qualname, depth):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_public(child.name):
+                    name = f"{qualname}{child.name}"
+                    if ast.get_docstring(child) is None:
+                        missing.append(name)
+                    visit(child, name + ".", depth + 1)
+            elif isinstance(child, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                if child.name in _EXEMPT or not _is_public(child.name):
+                    continue
+                # nested helpers are implementation detail, not API
+                if depth > 0 and not isinstance(node, ast.ClassDef):
+                    continue
+                if ast.get_docstring(child) is None:
+                    missing.append(f"{qualname}{child.name}")
+
+    visit(tree, "", 0)
+    return missing
+
+
+def _python_files():
+    for package in PACKAGES:
+        root = os.path.join(SRC, *package.split("/"))
+        for dirpath, _dirs, files in os.walk(root):
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+class TestPublicDocstrings:
+    def test_every_public_def_is_documented(self):
+        problems = []
+        for path in _python_files():
+            rel = os.path.relpath(path, SRC)
+            problems.extend(f"{rel}: {entry}"
+                            for entry in _missing_in(path))
+        assert not problems, (
+            f"{len(problems)} public definition(s) without docstrings:\n"
+            + "\n".join(problems))

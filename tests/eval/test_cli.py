@@ -78,7 +78,59 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "findings=1" in out
         artifact = next(tmp_path.glob("*.json"))
+        # ...the summary carries the artifact path (the replay handle)
+        assert str(artifact) in out
         # ...and replaying its artifact reproduces the finding
         assert main(["replay", str(artifact)]) == 0
         out = capsys.readouterr().out
         assert "reproduced" in out
+
+    def test_replay_failure_prints_artifact_path(self, capsys, tmp_path,
+                                                 monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert main(["fuzz", "racy-flag", "--seeds", "1",
+                     "--scale", "1.0", "--jobs", "1",
+                     "--out-dir", str(tmp_path)]) == 1
+        capsys.readouterr()
+        artifact = next(tmp_path.glob("*.json"))
+        # corrupt the recorded failure so the replay cannot match it
+        data = json.loads(artifact.read_text())
+        data["failure"]["kind"] = "deadlock"
+        data["failure"]["signatures"] = []
+        artifact.write_text(json.dumps(data))
+        assert main(["replay", str(artifact)]) == 1
+        out = capsys.readouterr().out
+        assert "DID NOT reproduce" in out
+        # the non-reproducing artifact's path is the actionable handle
+        assert str(artifact) in out
+
+    def test_trace_subcommand_writes_chrome_trace(self, capsys,
+                                                  tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "swaptions", "pthreads",
+                     "--scale", "0.05", "--out", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert str(out_path) in printed
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+
+    def test_metrics_subcommand_prints_snapshot(self, capsys):
+        import json
+
+        assert main(["metrics", "swaptions", "pthreads",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        snapshot = json.loads(out)
+        assert snapshot["version"] == "repro-metrics/1"
+        assert "machine.cycles" in snapshot["gauges"]
+
+    def test_run_profile_prints_attribution(self, capsys):
+        assert main(["run", "swaptions", "pthreads", "--scale", "0.05",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "self-profile" in out
+        assert "memory-system" in out

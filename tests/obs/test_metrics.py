@@ -1,0 +1,100 @@
+"""Metrics registry: instrument semantics and snapshot determinism."""
+
+import json
+
+import pytest
+
+from repro.obs import (DEFAULT_BUCKETS, METRICS_VERSION, MetricsRegistry)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("ops")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_same_name_same_labels_is_same_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", core=1).inc(2)
+        reg.counter("ops", core=1).inc(3)
+        reg.counter("ops", core=2).inc(7)
+        snap = reg.snapshot()
+        assert snap["counters"]["ops{core=1}"] == 5
+        assert snap["counters"]["ops{core=2}"] == 7
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative_style_per_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes", buckets=(10, 100))
+        for v in (1, 5, 50, 500):
+            h.observe(v)
+        snap = reg.snapshot()["histograms"]["sizes"]
+        assert snap["count"] == 4
+        assert snap["sum"] == 556
+        # per-bucket (non-cumulative) counts, +Inf is the overflow
+        assert snap["buckets"] == {"10": 2, "100": 1, "+Inf": 1}
+
+    def test_default_buckets_cover_commit_sizes(self):
+        assert DEFAULT_BUCKETS[0] == 1
+        assert DEFAULT_BUCKETS[-1] == 65536
+
+
+class TestIngest:
+    def test_nested_report_dict_becomes_gauges(self):
+        reg = MetricsRegistry()
+        reg.ingest("runtime", {"commits": 4, "repaired": True,
+                               "memory": {"ptsb": 128}},
+                   system="tmi-protect")
+        snap = reg.snapshot()["gauges"]
+        assert snap["runtime.commits{system=tmi-protect}"] == 4
+        assert snap["runtime.repaired{system=tmi-protect}"] == 1
+        assert snap["runtime.memory.ptsb{system=tmi-protect}"] == 128
+
+    def test_non_numeric_values_become_info_gauges(self):
+        reg = MetricsRegistry()
+        reg.ingest("runtime", {"stage": "protect"})
+        snap = reg.snapshot()["gauges"]
+        assert snap["runtime.stage.info{value=protect}"] == 1
+
+
+class TestSnapshot:
+    def test_versioned_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        assert snap["version"] == METRICS_VERSION
+        assert list(snap["counters"]) == ["a", "z"]
+
+    def test_insertion_order_does_not_change_bytes(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.counter("a").inc()
+        one.gauge("b", core=1).set(2)
+        two.gauge("b", core=1).set(2)
+        two.counter("a").inc()
+        assert one.to_json() == two.to_json()
+
+    def test_save_round_trips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        path = tmp_path / "metrics.json"
+        reg.save(path)
+        assert json.loads(path.read_text())["counters"]["ops"] == 3

@@ -128,6 +128,39 @@ class TestSmokeFuzz:
             assert isinstance(line, str)
 
 
+class TestSmokeSummaryArtifacts:
+    """A failing smoke run must print every finding's replay artifact;
+    a passing one stays terse (the positive control finds races by
+    design)."""
+
+    def _result(self, passed):
+        from repro.schedule.fuzz import (FuzzFinding, FuzzReport,
+                                         SmokeResult)
+        finding = FuzzFinding(
+            workload="histogram", system="pthreads", policy="random",
+            seed=3, kind=STATE_MISMATCH,
+            artifact="results/fuzz/histogram-pthreads-random-3.json")
+        report = FuzzReport(
+            workload="histogram", system="pthreads", policy="random",
+            scale=0.05, seeds=[3], max_cycles=None, findings=[finding],
+            baseline_status=OK, baseline_signatures=[], elapsed=0.1)
+        return SmokeResult(
+            checks=[("histogram: race-free workload fuzzes clean",
+                     passed, "1 finding(s) over 1 seed(s)")],
+            reports={"histogram": report})
+
+    def test_failing_smoke_lists_artifacts(self):
+        lines = self._result(passed=False).summary_lines()
+        text = "\n".join(lines)
+        assert "[FAIL]" in text
+        assert "results/fuzz/histogram-pthreads-random-3.json" in text
+        assert "replay artifacts:" in text
+
+    def test_passing_smoke_stays_terse(self):
+        lines = self._result(passed=True).summary_lines()
+        assert all(line.startswith("[PASS]") for line in lines)
+
+
 class TestShrunkArtifact:
     def test_shrunk_log_still_reproduces(self, tmp_path):
         report = fuzz_workload("racy-flag", seeds=1, scale=1.0, jobs=1,
