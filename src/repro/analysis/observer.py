@@ -101,6 +101,19 @@ class EngineObserver:
         ``cycle``; ``report`` is its
         :class:`~repro.core.detector.IntervalReport`."""
 
+    # ------------------------------------------------------------------
+    # fault injection / degradation (robustness hooks)
+    # ------------------------------------------------------------------
+    def on_fault(self, event):
+        """An injected fault fired (or a page was demoted); ``event``
+        is the injection-log dict: ``seq``, ``point``, and per-point
+        context (cycle, tid, page_va...)."""
+
+    def on_degradation(self, info):
+        """The degradation ladder transitioned; ``info`` has ``cycle``,
+        ``interval``, ``from``, ``to``, and ``reason`` (see
+        :mod:`repro.core.ladder`)."""
+
 
 class ObserverMux(EngineObserver):
     """Fans every observer callback out to an ordered list of children.
@@ -134,6 +147,6 @@ for _name in ("on_attach", "on_access", "on_atomic", "on_fence",
               "on_acquire", "on_release", "on_barrier", "on_hb_edge",
               "on_thread_create", "on_thread_exit", "on_ptsb_commit",
               "on_ptsb_flush", "on_t2p", "on_hitm", "on_pebs_records",
-              "on_detect_interval"):
+              "on_detect_interval", "on_fault", "on_degradation"):
     setattr(ObserverMux, _name, _fanout(_name))
 del _name

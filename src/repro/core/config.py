@@ -52,6 +52,30 @@ class TmiConfig:
     enable_repair: bool = True
     #: Hard cap on pages protected per repair episode.
     max_repair_pages: int = 64
+    #: Retries granted to a faulting repair action (ptrace attach
+    #: rounds, per-thread fork) before the episode counts as failed.
+    fault_retry_limit: int = 3
+    #: Base backoff charged per retry in simulated cycles; doubles with
+    #: each attempt (retry n costs ``base * 2**n`` on top of the op).
+    fault_backoff_cycles: int = 25_000
+    #: PTSB commit conflicts tolerated per page before the page is
+    #: blacklisted (demoted to shared, never re-protected).
+    page_conflict_budget: int = 4
+    #: Consecutive failed repair episodes before the ladder degrades
+    #: ``protect`` -> ``detect``.
+    episode_failure_budget: int = 3
+    #: Lost PEBS records (drops + overflows) tolerated before the
+    #: ladder degrades one level (detection data untrustworthy).
+    perf_fault_budget: int = 2_048
+    #: Detection intervals a degraded ladder waits before re-arming
+    #: one level up.
+    ladder_cooldown_intervals: int = 8
+    #: Bound on undrained PEBS records queued for the detector; beyond
+    #: it records are dropped and counted (never reached fault-free).
+    perf_queue_limit: int = 65_536
+    #: Extra cycles a fault-injected ``ptsb.delayed_flush`` stalls a
+    #: consistency flush.
+    delayed_flush_cycles: int = 20_000
     #: Extra settings bag for experiments.
     extra: dict = field(default_factory=dict)
 

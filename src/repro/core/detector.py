@@ -149,6 +149,15 @@ class FalseSharingDetector:
         dynamic = len(self.lines) * 512 + self.records_total * 16
         return base + static + dynamic
 
+    def untarget(self, line_va):
+        """Forget that ``line_va`` was nominated for repair.
+
+        The repair manager calls this when it abandons a queued target
+        (degradation below ``protect``), so a later analysis pass can
+        re-nominate the line if it is still hot once repair re-arms.
+        """
+        self._targeted_pages.discard(line_va)
+
     @property
     def targeted_pages(self):
         return set(self._targeted_pages)

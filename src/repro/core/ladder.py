@@ -1,0 +1,120 @@
+"""TMI's degradation ladder: staged fallback under substrate faults.
+
+TMI is compatible-by-default: when the repair substrate misbehaves —
+ptrace attach rounds time out, fork() fails mid-conversion, PEBS data
+goes untrustworthy — the runtime must degrade to a *less ambitious but
+still correct* stage rather than wedge or corrupt.  The ladder tracks
+one of the three deployment stages as the current operating level,
+
+    ``protect``  →  ``detect``  →  ``alloc``
+
+stepping down when a failure budget is exhausted (repeated failed
+repair episodes demote ``protect``→``detect``; excessive PEBS record
+loss demotes one further to ``alloc``) and re-arming one level up after
+a cooldown measured in detection intervals.  Every transition is
+recorded and surfaced through the observer (``on_degradation``) and
+metrics, so a degradation timeline reads directly out of a trace
+(see ``docs/ROBUSTNESS.md``).
+
+The ladder never moves in a fault-free run: budgets are only consumed
+by failures, so the cycle-exactness goldens are unaffected.
+"""
+
+#: Ladder levels, weakest first (indices double as the metric gauge).
+LEVELS = ("alloc", "detect", "protect")
+
+
+class DegradationLadder:
+    """Failure budgets, staged fallback, and cooldown re-arm."""
+
+    def __init__(self, config, start="protect", on_transition=None):
+        if start not in LEVELS:
+            raise ValueError(f"unknown ladder level {start!r}")
+        self.config = config
+        self.start = start
+        self.level = start
+        #: Highest level cooldown re-arm may return to; lowered when a
+        #: stage is permanently unavailable (e.g. the shared app region
+        #: fell back to private memory, so repair can never work).
+        self.ceiling = start
+        #: Transition log: dicts with cycle/interval/from/to/reason.
+        self.transitions = []
+        self.on_transition = on_transition
+        self.episode_failures = 0      # consecutive failed episodes
+        self._degraded_interval = None
+        self._perf_drop_baseline = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def level_index(self):
+        """Numeric level (2=protect, 1=detect, 0=alloc) for gauges."""
+        return LEVELS.index(self.level)
+
+    def allows_repair(self):
+        """Whether new repair episodes may be scheduled."""
+        return self.level == "protect"
+
+    def allows_detection(self):
+        """Whether sampling/detection work should run at all."""
+        return self.level != "alloc"
+
+    # ------------------------------------------------------------------
+    def note_episode_failure(self, cycle, interval, reason):
+        """One repair episode failed (attach timeout, fork failure)."""
+        self.episode_failures += 1
+        if (self.level == "protect" and self.episode_failures
+                >= self.config.episode_failure_budget):
+            self._step_down(cycle, interval, reason)
+
+    def note_episode_success(self):
+        """A repair episode completed; the failure streak resets."""
+        self.episode_failures = 0
+
+    def note_perf_drops(self, dropped_total, cycle, interval):
+        """Account cumulative lost PEBS records against the budget."""
+        fresh = dropped_total - self._perf_drop_baseline
+        if fresh >= self.config.perf_fault_budget \
+                and self.level != "alloc":
+            self._perf_drop_baseline = dropped_total
+            self._step_down(cycle, interval, "perf-record-loss")
+
+    def force_level(self, level, cycle, interval, reason,
+                    permanent=False):
+        """Jump directly to ``level`` (setup-time degradation, e.g. a
+        persistent ``shm_open`` failure); ``permanent`` also lowers the
+        re-arm ceiling so cooldown cannot climb back above it."""
+        if level != self.level:
+            self._transition(cycle, interval, level, reason)
+            self._degraded_interval = interval
+        if permanent and LEVELS.index(level) < LEVELS.index(self.ceiling):
+            self.ceiling = level
+
+    # ------------------------------------------------------------------
+    def tick(self, cycle, interval):
+        """End-of-interval: re-arm one level after the cooldown."""
+        if self.level == self.ceiling or self._degraded_interval is None:
+            return
+        elapsed = interval - self._degraded_interval
+        if elapsed < self.config.ladder_cooldown_intervals:
+            return
+        self._transition(cycle, interval,
+                         LEVELS[self.level_index + 1], "cooldown-rearm")
+        self.episode_failures = 0
+        self._degraded_interval = (
+            None if self.level == self.ceiling else interval)
+
+    # ------------------------------------------------------------------
+    def _step_down(self, cycle, interval, reason):
+        if self.level_index == 0:
+            return
+        self._transition(cycle, interval,
+                         LEVELS[self.level_index - 1], reason)
+        self._degraded_interval = interval
+
+    def _transition(self, cycle, interval, to, reason):
+        info = {"cycle": cycle, "interval": interval,
+                "from": self.level, "to": to, "reason": reason}
+        self.level = to
+        self.transitions.append(info)
+        if self.on_transition is not None:
+            self.on_transition(info)

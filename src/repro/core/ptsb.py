@@ -22,12 +22,16 @@ class PageTwinningStoreBuffer:
     """Per-process PTSB state and commit machinery."""
 
     def __init__(self, process, machine, costs,
-                 huge_commit_optimization=True, on_commit=None):
+                 huge_commit_optimization=True, on_commit=None,
+                 faults=None, on_conflict=None):
         self.process = process
         self.machine = machine
         self.costs = costs
         self.huge_commit_optimization = huge_commit_optimization
         self.on_commit = on_commit           # callback(CommitEvent-ish dict)
+        self.faults = faults                 # armed FaultInjector or None
+        self.on_conflict = on_conflict       # callback(page_va)
+        self.conflicts = 0
         self._twins = {}     # (mapping id, page index) -> entry
         self.commit_count = 0
         self.committed_pages = 0
@@ -77,6 +81,18 @@ class PageTwinningStoreBuffer:
                 continue
             working = physmem.read(state.private_pa, page_size)
             total += self._diff_cost(page_size, twin, working)
+            if self.faults is not None and self.faults.fire(
+                    "ptsb.commit_conflict", pid=self.process.pid,
+                    page_va=mapping.start + index * page_size):
+                # a concurrent writer dirtied the shared page between
+                # diff and merge: the commit re-diffs and retries (the
+                # merged bytes are still exactly the diffed bytes, so
+                # correctness is unaffected -- the page just pays twice)
+                self.conflicts += 1
+                total += self._diff_cost(page_size, twin, working)
+                total += costs.commit_page_fixed
+                if self.on_conflict is not None:
+                    self.on_conflict(mapping.start + index * page_size)
             shared_base = mapping.backing.page_pa(
                 mapping.backing_offset + index * page_size)
             changed = _changed_runs(twin, working)

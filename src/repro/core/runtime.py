@@ -16,8 +16,10 @@ from repro.alloc import LocklessAllocator, RegionBump
 from repro.core.config import TmiConfig
 from repro.core.consistency import CodeCentricPolicy
 from repro.core.detector import FalseSharingDetector
+from repro.core.ladder import DegradationLadder
 from repro.core.repair import RepairManager
 from repro.core.stats import TmiStats
+from repro.errors import ShmExhaustedError
 from repro.engine import layout
 from repro.engine.hooks import RuntimeHooks
 from repro.isa.disasm import Disassembler
@@ -54,6 +56,8 @@ class TmiRuntime(RuntimeHooks):
         self.perf = None
         self.detector = None
         self.repair = None
+        self.ladder = None
+        self._engine = None
         if stage != STAGE_ALLOC:
             self.tick_cycles = self.config.detect_interval_cycles
 
@@ -65,14 +69,18 @@ class TmiRuntime(RuntimeHooks):
         costs = engine.costs
         program = engine.program
         page_size = self.config.app_page_size
+        self._engine = engine
 
-        self.shm = SharedMemoryNamespace(machine.physmem)
+        self.shm = SharedMemoryNamespace(machine.physmem,
+                                         faults=self.faults)
         heap_bytes = program.heap_bytes
         stacks_bytes = MAX_THREADS * layout.STACK_SIZE
         app_bytes = layout.GLOBALS_SIZE + heap_bytes + stacks_bytes
-        self.app_backing = self.shm.shm_open("tmi-app", app_bytes)
-        self.internal_backing = self.shm.shm_open("tmi-internal",
-                                                  layout.INTERNAL_SIZE)
+        self.shm_degraded = False
+        self.app_backing = self._shm_open_with_retry(
+            machine, "tmi-app", app_bytes)
+        self.internal_backing = self._shm_open_with_retry(
+            machine, "tmi-internal", layout.INTERNAL_SIZE)
 
         aspace = AddressSpace(machine.physmem, costs, name="app")
         aspace.mmap(layout.GLOBALS_BASE, layout.GLOBALS_SIZE,
@@ -98,7 +106,9 @@ class TmiRuntime(RuntimeHooks):
         self._stacks_mapped = set()
 
         if self.stage != STAGE_ALLOC:
-            self.perf = PerfSession(costs, period=self.config.period)
+            self.perf = PerfSession(
+                costs, period=self.config.period, faults=self.faults,
+                queue_limit=self.config.perf_queue_limit)
             machine.add_hitm_listener(self.perf.on_hitm)
             self.callbacks.install(
                 self.name,
@@ -108,8 +118,34 @@ class TmiRuntime(RuntimeHooks):
                 Disassembler(program.binary),
                 AddressMap.from_aspace(aspace),
                 aspace, self.config)
+            self.ladder = DegradationLadder(
+                self.config,
+                start=(STAGE_PROTECT if self.stage == STAGE_PROTECT
+                       else STAGE_DETECT),
+                on_transition=self._on_ladder_transition)
         if self.stage == STAGE_PROTECT:
-            self.repair = RepairManager(engine, self.config, self.stats)
+            self.repair = RepairManager(engine, self.config, self.stats,
+                                        faults=self.faults,
+                                        ladder=self.ladder)
+            if self.shm_degraded:
+                # without the shared file-backed region a forked
+                # process could never publish its writes: repair is
+                # permanently off; detection still runs
+                self.ladder.force_level(STAGE_DETECT, 0, 0,
+                                        "shm-exhausted",
+                                        permanent=True)
+
+    def _shm_open_with_retry(self, machine, name, nbytes):
+        """``shm_open`` with retries; persistent exhaustion falls back
+        to a private (non-file-backed) region and flags degradation."""
+        from repro.sim.addrspace import Backing
+        for _attempt in range(self.config.fault_retry_limit + 1):
+            try:
+                return self.shm.shm_open(name, nbytes)
+            except ShmExhaustedError:
+                continue
+        self.shm_degraded = True
+        return Backing(machine.physmem, nbytes, name=name)
 
     # ------------------------------------------------------------------
     # threads
@@ -190,6 +226,11 @@ class TmiRuntime(RuntimeHooks):
         if ptsb is None:
             return 0
         cost = ptsb.commit(thread.core, reason)
+        if cost and self.faults is not None and self.faults.fire(
+                "ptsb.delayed_flush", tid=thread.tid, reason=reason):
+            # the commit path stalled (contended directory, write-back
+            # pressure): the flush completes late but completes
+            cost += self.config.delayed_flush_cycles
         self.stats.commit_cycles += cost
         self.stats.twin_bytes_peak = max(self.stats.twin_bytes_peak,
                                          ptsb.twin_bytes_peak)
@@ -223,9 +264,17 @@ class TmiRuntime(RuntimeHooks):
         if self.detector is None:
             return
         self.stats.intervals += 1
+        observer = engine._observer
+        if self.ladder is not None \
+                and not self.ladder.allows_detection():
+            # degraded to the alloc level: the sampling pipeline is
+            # untrusted, so drain and discard without analysis; the
+            # interval still counts and the cooldown clock still runs
+            self.perf.drain()
+            self._tick_fault_work(engine, observer, now)
+            return
         records = self.perf.drain()
         self.stats.records_seen += len(records)
-        observer = engine._observer
         if observer is not None and records:
             observer.on_pebs_records(records)
         self.detector.address_map = AddressMap.from_aspace(
@@ -241,6 +290,41 @@ class TmiRuntime(RuntimeHooks):
                 and report.targets):
             self.repair.request_repair(engine, report.targets,
                                        self.stats.intervals)
+        self._tick_fault_work(engine, observer, now)
+
+    def _tick_fault_work(self, engine, observer, now):
+        """Per-tick fault bookkeeping: demotions, retries, budgets.
+
+        Every branch is a no-op in a fault-free run (no pending work,
+        no drops, ladder at its ceiling), so the cycle-exactness
+        goldens are unaffected.
+        """
+        if self.repair is not None:
+            self.repair.schedule_demotions(engine)
+            self.repair.resume(engine)
+        if self.faults is not None:
+            self.stats.records_dropped = self.perf.records_dropped
+            if self.ladder is not None:
+                self.ladder.note_perf_drops(self.perf.records_dropped,
+                                            now, self.stats.intervals)
+            if observer is not None:
+                for event in self.faults.pending_events():
+                    observer.on_fault(event)
+        if self.ladder is not None:
+            self.ladder.tick(now, self.stats.intervals)
+
+    def _on_ladder_transition(self, info):
+        """Ladder callback: record, surface, and abandon stale work."""
+        self.stats.degradations.append(dict(info))
+        if (info["from"] == STAGE_PROTECT
+                and info["to"] != STAGE_PROTECT
+                and self.repair is not None
+                and self.detector is not None):
+            self.repair.abandon_pending(self.detector)
+        engine = self._engine
+        observer = engine._observer if engine is not None else None
+        if observer is not None:
+            observer.on_degradation(dict(info))
 
     # ------------------------------------------------------------------
     # reporting
@@ -287,6 +371,26 @@ class TmiRuntime(RuntimeHooks):
                                        system=system)
         for size in stats.commit_sizes:
             histogram.observe(size)
+        registry.counter("tmi.records_dropped", system=system).inc(
+            stats.records_dropped)
+        registry.counter("tmi.repair_episodes", system=system).inc(
+            stats.repair_episodes)
+        registry.counter("tmi.repair_episode_failures",
+                         system=system).inc(
+            stats.repair_episode_failures)
+        registry.counter("tmi.commit_conflicts", system=system).inc(
+            stats.commit_conflicts)
+        registry.counter("tmi.pages_blacklisted", system=system).inc(
+            stats.pages_blacklisted)
+        registry.counter("tmi.degradations", system=system).inc(
+            len(stats.degradations))
+        if self.ladder is not None:
+            registry.gauge("tmi.ladder_level", system=system).set(
+                self.ladder.level_index)
+        if self.faults is not None:
+            for point, count in self.faults.fired_counts().items():
+                registry.counter("tmi.faults", system=system,
+                                 point=point).inc(count)
 
     def report(self, engine):
         out = {"stage": self.stage}
@@ -301,4 +405,8 @@ class TmiRuntime(RuntimeHooks):
             out["sharing_summary"] = self.detector.sharing_summary()
             out["targeted_pages"] = sorted(
                 hex(p) for p in self.detector.targeted_pages)
+        if self.ladder is not None:
+            out["ladder_level"] = self.ladder.level
+        if self.faults is not None:
+            out["faults_injected"] = self.faults.fired_counts()
         return out

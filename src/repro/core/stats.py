@@ -25,6 +25,18 @@ class TmiStats:
     #: Per-commit merged byte counts (feeds the commit-size histogram
     #: on the metrics surface).
     commit_sizes: list = field(default_factory=list)
+    #: PEBS records lost to overflow/injection (satellite: bounded
+    #: perf buffers surface their drops instead of hiding them).
+    records_dropped: int = 0
+    #: Repair episodes that completed / that failed and were retried.
+    repair_episodes: int = 0
+    repair_episode_failures: int = 0
+    #: Injected PTSB commit conflicts observed.
+    commit_conflicts: int = 0
+    #: Pages demoted and blacklisted as unrepairable.
+    pages_blacklisted: int = 0
+    #: Degradation-ladder transition log (dicts; see core/ladder.py).
+    degradations: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def note_commit(self, info):
@@ -61,4 +73,10 @@ class TmiStats:
             "protected_pages": self.protected_pages,
             "ptsb_flushes": self.ptsb_flushes,
             "relaxed_fast_path": self.relaxed_fast_path,
+            "records_dropped": self.records_dropped,
+            "repair_episodes": self.repair_episodes,
+            "repair_episode_failures": self.repair_episode_failures,
+            "commit_conflicts": self.commit_conflicts,
+            "pages_blacklisted": self.pages_blacklisted,
+            "degradations": len(self.degradations),
         }

@@ -27,6 +27,10 @@ class RuntimeHooks:
     name = "base"
     #: If nonzero, ``on_tick`` fires every this many cycles of machine time.
     tick_cycles = 0
+    #: Armed :class:`~repro.faults.FaultInjector`, or None (the
+    #: default: no fault plan, zero-cost injection sites).  The eval
+    #: runner arms this before ``setup``.
+    faults = None
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -100,6 +100,53 @@ class PtraceError(ReproError):
     """An invalid ptrace request (bad state transition, unknown thread)."""
 
 
+class ShmError(ReproError):
+    """A named shared-memory operation failed."""
+
+    def __init__(self, name, reason):
+        self.name = name
+        self.reason = reason
+        super().__init__(f"shm {name!r}: {reason}")
+
+
+class ShmNameError(ShmError):
+    """``shm_unlink`` (or a lookup) named a region that does not exist."""
+
+    def __init__(self, name, known):
+        self.known = tuple(known)
+        super().__init__(name, f"unknown name (known: {list(known)})")
+
+
+class ShmExhaustedError(ShmError):
+    """``shm_open`` could not create a region (namespace exhausted).
+
+    The simulated analog of ``shm_open`` returning ``EMFILE``/``ENOSPC``;
+    injected by fault plans and raised for real when a namespace's
+    ``capacity`` is reached.
+    """
+
+    def __init__(self, name, reason="namespace exhausted"):
+        super().__init__(name, reason)
+
+
+class ShmSizeMismatchError(ShmError, InvalidMappingError):
+    """A region was reopened with a size different from its creation.
+
+    Also an :class:`InvalidMappingError` so existing callers that treat
+    the mismatch as a mapping-argument error keep working.
+    """
+
+    def __init__(self, name, have, want):
+        self.have = have
+        self.want = want
+        super().__init__(
+            name, f"reopened with different size ({want} != {have})")
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed (unknown point, bad format)."""
+
+
 class ConsistencyViolationError(SimulationError):
     """A runtime broke memory consistency rules it promised to uphold.
 

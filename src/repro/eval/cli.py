@@ -13,7 +13,10 @@ Regenerate any paper artifact without pytest::
     python -m repro.eval.cli lint all --scale 0.05
     python -m repro.eval.cli fuzz --seeds 16 --budget 60
     python -m repro.eval.cli fuzz racy-flag --policy pct --seeds 32
+    python -m repro.eval.cli chaos --seeds 16
+    python -m repro.eval.cli chaos --smoke
     python -m repro.eval.cli replay results/fuzz/racy-flag-....json
+    python -m repro.eval.cli replay results/chaos/histogramfs-....json
     python -m repro.eval.cli list
 """
 
@@ -138,9 +141,27 @@ def build_parser():
                       help="artifact directory (default results/fuzz)")
     fuzz.add_argument("--jobs", type=int, default=None)
 
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign over the "
+                      "repair suite; --smoke = bounded CI control")
+    chaos.add_argument("--seeds", type=int, default=16,
+                       help="number of fault plans (seeds 0..N-1)")
+    chaos.add_argument("--scale", type=float, default=0.1)
+    chaos.add_argument("--smoke", action="store_true",
+                       help="small bounded plan set with positive "
+                            "control and replay identity check")
+    chaos.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock timeout in seconds")
+    chaos.add_argument("--out-dir", default=None,
+                       help="artifact directory (default results/chaos)")
+    chaos.add_argument("--jobs", type=int, default=None)
+
     replay = sub.add_parser(
-        "replay", help="re-execute a recorded schedule trace artifact")
-    replay.add_argument("artifact", help="path to a ScheduleTrace JSON")
+        "replay", help="re-execute a recorded artifact (schedule "
+                       "trace or fault plan; dispatched on its "
+                       "format tag)")
+    replay.add_argument("artifact",
+                        help="path to a ScheduleTrace or FaultPlan JSON")
 
     sub.add_parser("list", help="list workloads and systems")
     return parser
@@ -265,7 +286,42 @@ def main(argv=None):
         print("\n".join(report.summary_lines()))
         return 0 if report.ok else 1
 
+    if args.command == "chaos":
+        from repro.faults import chaos_repair_suite, chaos_smoke
+        if args.jobs is not None:
+            os.environ["REPRO_JOBS"] = str(args.jobs)
+        if args.smoke:
+            smoke = chaos_smoke(seeds=min(args.seeds, 8),
+                                scale=min(args.scale, 0.05),
+                                jobs=args.jobs, out_dir=args.out_dir,
+                                timeout=args.timeout)
+            print("\n".join(smoke.summary_lines()))
+            return 0 if smoke.ok else 1
+        report = chaos_repair_suite(
+            seeds=args.seeds, scale=args.scale, jobs=args.jobs,
+            out_dir=args.out_dir, timeout=args.timeout)
+        print("\n".join(report.summary_lines()))
+        return 0 if report.ok else 1
+
     if args.command == "replay":
+        import json as json_mod
+        with open(args.artifact) as fh:
+            tag = json_mod.load(fh).get("format", "")
+        if tag.startswith("repro-fault-plan/"):
+            from repro.faults import FaultPlan, replay_plan
+            plan = FaultPlan.load(args.artifact)
+            matches, detail, outcome = replay_plan(plan)
+            print(f"replay {plan.workload}/{plan.system} fault plan "
+                  f"seed={plan.seed} "
+                  f"({len(plan.rates)} armed point(s))")
+            print(f"  outcome : {outcome.status}"
+                  + (f" ({outcome.detail})" if outcome.detail else ""))
+            print(f"  {detail}")
+            if matches:
+                print("  reproduced")
+                return 0
+            print(f"  DID NOT reproduce (artifact: {args.artifact})")
+            return 1
         from repro.schedule import replay_trace
         result = replay_trace(args.artifact)
         trace = result.trace

@@ -1,0 +1,184 @@
+"""Checkpointed experiment grids: long sweeps that survive interruption.
+
+A chaos campaign or a full-scale figure grid can run for hours; a
+crashed host, an OOM-killed worker, or a ctrl-C should not throw away
+the cells that already finished.  :func:`run_checkpointed` executes a
+cell list through the hardened pool
+(:func:`~repro.eval.parallel.run_cells_recorded`) in batches, writing a
+versioned JSON checkpoint under ``results/checkpoints/`` after every
+batch; re-running the same grid name skips every cell the checkpoint
+already records as harness-``ok`` and re-attempts only the cells that
+failed, timed out, or never ran.
+
+The checkpoint stores JSON-serializable *summaries* (statuses, cycles,
+fault counts), not live :class:`~repro.eval.runner.RunOutcome` objects:
+a resumed cell comes back with ``from_checkpoint=True`` and its summary,
+which is what grid-level reporting consumes.
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.eval.parallel import (CELL_OK, job_count,
+                                 run_cells_recorded)
+from repro.eval.report import results_dir
+
+#: Versioned checkpoint format tag.
+CHECKPOINT_FORMAT = "repro-grid-checkpoint/1"
+
+
+def cell_key(cell):
+    """Stable identity of one cell: its kwargs, canonically encoded."""
+    return json.dumps(cell, sort_keys=True, default=str)
+
+
+def summarize_outcome(outcome):
+    """JSON-serializable digest of one RunOutcome for the checkpoint."""
+    if outcome is None:
+        return None
+    summary = {"workload": getattr(outcome, "workload", None),
+               "system": getattr(outcome, "system", None),
+               "status": getattr(outcome, "status", None),
+               "detail": getattr(outcome, "detail", ""),
+               "cycles": getattr(outcome, "cycles", None)}
+    faults = getattr(outcome, "faults", None)
+    if faults is not None:
+        summary["fault_counts"] = dict(faults["counts"])
+    return summary
+
+
+@dataclass
+class GridCell:
+    """One grid cell's harness status plus its outcome summary."""
+
+    cell: dict
+    status: str
+    retried: bool = False
+    error: str = ""
+    summary: object = None
+    #: Live RunOutcome when the cell ran in this invocation; None for
+    #: cells restored from the checkpoint.
+    outcome: object = None
+    from_checkpoint: bool = False
+
+
+def checkpoint_path(name, out_dir=None):
+    """Where grid ``name`` checkpoints (``REPRO_RESULTS_DIR`` aware)."""
+    directory = out_dir or os.path.join(results_dir(), "checkpoints")
+    return os.path.join(directory, f"{name}.json")
+
+
+def _load_checkpoint(path):
+    if not os.path.exists(path):
+        return {}
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"unsupported grid checkpoint format "
+            f"{data.get('format')!r} in {path} "
+            f"(expected {CHECKPOINT_FORMAT})")
+    return data.get("cells", {})
+
+
+def _write_checkpoint(path, entries):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump({"format": CHECKPOINT_FORMAT, "cells": entries},
+                  fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def run_checkpointed(cells, name, jobs=None, timeout=None,
+                     out_dir=None, fresh=False):
+    """Run ``cells`` under checkpoint ``name``; returns
+    :class:`GridCell` records in input order.
+
+    Cells the checkpoint already records as harness-``ok`` are restored
+    without re-running (``from_checkpoint=True``); everything else —
+    new cells, earlier failures, earlier timeouts — runs through the
+    hardened pool in batches, and the checkpoint is rewritten after
+    every batch so an interruption loses at most one batch of work.
+    ``fresh=True`` discards any existing checkpoint first.
+    """
+    cells = list(cells)
+    path = checkpoint_path(name, out_dir=out_dir)
+    entries = {} if fresh else _load_checkpoint(path)
+    results = [None] * len(cells)
+    pending = []
+    for index, cell in enumerate(cells):
+        entry = entries.get(cell_key(cell))
+        if entry is not None and entry.get("status") == CELL_OK:
+            results[index] = GridCell(
+                cell=dict(cell), status=entry["status"],
+                retried=entry.get("retried", False),
+                error=entry.get("error", ""),
+                summary=entry.get("summary"), from_checkpoint=True)
+        else:
+            pending.append(index)
+
+    batch = max(1, job_count(jobs)) * 2
+    for base in range(0, len(pending), batch):
+        chunk = pending[base:base + batch]
+        records = run_cells_recorded([cells[i] for i in chunk],
+                                     jobs=jobs, timeout=timeout)
+        for index, record in zip(chunk, records):
+            summary = summarize_outcome(record.outcome)
+            results[index] = GridCell(
+                cell=dict(cells[index]), status=record.status,
+                retried=record.retried, error=record.error,
+                summary=summary, outcome=record.outcome)
+            entries[cell_key(cells[index])] = {
+                "status": record.status, "retried": record.retried,
+                "error": record.error, "summary": summary}
+        _write_checkpoint(path, entries)
+    if not pending:
+        # nothing ran, but materialize the checkpoint for fresh grids
+        _write_checkpoint(path, entries)
+    return results
+
+
+@dataclass
+class GridReport:
+    """Totals over one checkpointed grid run."""
+
+    name: str
+    records: list
+    path: str = ""
+    counts: dict = field(default_factory=dict)
+
+    def summary_lines(self):
+        """Totals plus one line per non-ok cell."""
+        lines = [f"grid {self.name}: "
+                 + ", ".join(f"{k}={v}"
+                             for k, v in sorted(self.counts.items()))]
+        for record in self.records:
+            if record.status == CELL_OK and not record.retried:
+                continue
+            flags = []
+            if record.retried:
+                flags.append("retried")
+            if record.from_checkpoint:
+                flags.append("checkpointed")
+            suffix = f" [{', '.join(flags)}]" if flags else ""
+            lines.append(f"  {record.cell.get('name')}/"
+                         f"{record.cell.get('system')}: "
+                         f"{record.status}{suffix} {record.error}")
+        return lines
+
+
+def run_grid(cells, name, **kwargs):
+    """:func:`run_checkpointed` plus a :class:`GridReport` wrapper."""
+    records = run_checkpointed(cells, name, **kwargs)
+    counts = {}
+    for record in records:
+        key = record.status + ("(resumed)" if record.from_checkpoint
+                               else "")
+        counts[key] = counts.get(key, 0) + 1
+    return GridReport(name=name, records=records,
+                      path=checkpoint_path(
+                          name, out_dir=kwargs.get("out_dir")),
+                      counts=counts)

@@ -7,28 +7,73 @@ so fanning them out across worker *processes* cannot perturb results —
 each worker computes exactly the bytes the serial loop would have, and
 the parent reassembles them in the caller's order.
 
-Worker count comes from ``REPRO_JOBS`` (default ``os.cpu_count()``).
-``REPRO_JOBS=1`` — or any pool failure, e.g. a sandbox that forbids
-fork — falls back to the serial in-process loop, which is also the
-configuration to use when bisecting determinism bugs.
+Worker count comes from ``REPRO_JOBS`` (default ``os.cpu_count()``;
+a malformed value warns and pins serial execution).  ``REPRO_JOBS=1``
+— or any pool failure, e.g. a sandbox that forbids fork — falls back
+to the serial in-process loop, which is also the configuration to use
+when bisecting determinism bugs.
+
+The grid is hardened against worker failure
+(:func:`run_cells_recorded`): a cell that blows past its wall-clock
+timeout is recorded as ``timeout`` instead of wedging the experiment,
+and a :class:`~concurrent.futures.process.BrokenProcessPool` (a worker
+segfaulted or was OOM-killed) no longer aborts the grid — the cells
+that never finished are re-run serially in the parent and surfaced
+with ``retried=True``.
 """
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass
+
+#: Cell-record statuses (harness-level, distinct from RunOutcome.status:
+#: a simulated hang is still a *harness*-ok cell).
+CELL_OK = "ok"
+CELL_FAILED = "failed"
+CELL_TIMEOUT = "timeout"
 
 
 def job_count(jobs=None):
-    """Resolve the worker count: explicit arg > REPRO_JOBS > cpu count."""
+    """Resolve the worker count: explicit arg > REPRO_JOBS > cpu count.
+
+    A malformed ``REPRO_JOBS`` pins serial execution (``1``) and warns
+    — silent degradation to a surprise worker count hid real
+    configuration mistakes.
+    """
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
         if env:
             try:
                 jobs = int(env)
             except ValueError:
+                warnings.warn(
+                    f"REPRO_JOBS={env!r} is not an integer; running "
+                    "serially (jobs=1)", RuntimeWarning, stacklevel=2)
                 jobs = 1
         else:
             jobs = os.cpu_count() or 1
     return max(1, jobs)
+
+
+@dataclass
+class CellRecord:
+    """Harness-level outcome of one grid cell.
+
+    ``status`` is ``ok`` (the worker returned a
+    :class:`~repro.eval.runner.RunOutcome` — which may itself report a
+    simulated hang or failure), ``failed`` (the worker raised or
+    died), or ``timeout`` (the cell exceeded its wall-clock budget).
+    ``retried`` marks cells that were re-run serially after a broken
+    pool or a worker exception.
+    """
+
+    cell: dict
+    status: str
+    outcome: object = None
+    retried: bool = False
+    error: str = ""
 
 
 def _run_cell(kwargs):
@@ -37,7 +82,83 @@ def _run_cell(kwargs):
     return run_workload(**kwargs)
 
 
-def run_cells(cells, jobs=None):
+def _run_serial(cell, retried=False):
+    """Run one cell in-process, capturing any exception as a record."""
+    try:
+        outcome = _run_cell(cell)
+    except Exception as exc:  # noqa: BLE001 - harness boundary
+        return CellRecord(cell=dict(cell), status=CELL_FAILED,
+                          retried=retried,
+                          error=f"{type(exc).__name__}: {exc}")
+    return CellRecord(cell=dict(cell), status=CELL_OK, outcome=outcome,
+                      retried=retried)
+
+
+def run_cells_recorded(cells, jobs=None, timeout=None):
+    """Run every cell, never abort the grid; returns
+    :class:`CellRecord` objects in input order.
+
+    ``timeout`` (seconds of host wall-clock, pooled execution only)
+    bounds each cell from the moment the parent starts waiting on it;
+    a cell that exceeds it is recorded as ``timeout`` and is *not*
+    retried (it would exceed the budget serially too).  A broken pool
+    or a raising worker marks the affected cells for a serial re-run
+    in the parent, surfaced with ``retried=True``.
+    """
+    cells = list(cells)
+    jobs = job_count(jobs)
+    records = [None] * len(cells)
+    if jobs <= 1 or len(cells) <= 1:
+        for index, cell in enumerate(cells):
+            records[index] = _run_serial(cell)
+        return records
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(cells)))
+        futures = [pool.submit(_run_cell, cell) for cell in cells]
+    except (OSError, PermissionError):
+        # no subprocesses available (restricted environments): degrade
+        # to the serial path rather than failing the experiment
+        for index, cell in enumerate(cells):
+            records[index] = _run_serial(cell)
+        return records
+    timed_out = False
+    try:
+        for index, future in enumerate(futures):
+            cell = cells[index]
+            try:
+                outcome = future.result(timeout=timeout)
+            except _FutureTimeout:
+                future.cancel()
+                timed_out = True
+                records[index] = CellRecord(
+                    cell=dict(cell), status=CELL_TIMEOUT,
+                    error=f"exceeded {timeout}s wall-clock budget")
+            except BrokenExecutor:
+                # the pool is gone (a worker segfaulted / was killed);
+                # every unfinished cell stays None and is re-run
+                # serially below
+                break
+            except Exception as exc:  # noqa: BLE001 - worker raised
+                records[index] = _run_serial(cell, retried=True)
+                if records[index].status == CELL_FAILED:
+                    records[index].error = (
+                        f"{type(exc).__name__}: {exc}; serial retry: "
+                        f"{records[index].error}")
+            else:
+                records[index] = CellRecord(cell=dict(cell),
+                                            status=CELL_OK,
+                                            outcome=outcome)
+    finally:
+        # don't block on a wedged worker: timed-out cells may still be
+        # burning CPU inside it
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+    for index, cell in enumerate(cells):
+        if records[index] is None:
+            records[index] = _run_serial(cell, retried=True)
+    return records
+
+
+def run_cells(cells, jobs=None, timeout=None):
     """Run ``run_workload(**cell)`` for every cell; returns outcomes in
     input order.
 
@@ -45,16 +166,15 @@ def run_cells(cells, jobs=None):
     :func:`repro.eval.runner.run_workload`.  With ``jobs > 1`` the cells
     execute across a :class:`ProcessPoolExecutor`; the outcomes (and
     every simulated cycle/HITM count inside them) are identical to the
-    serial loop's.
+    serial loop's.  A broken pool is recovered by re-running only the
+    unfinished cells serially; a cell that fails even serially (or
+    times out) raises — callers wanting per-cell failure records use
+    :func:`run_cells_recorded`.
     """
-    cells = list(cells)
-    jobs = job_count(jobs)
-    if jobs <= 1 or len(cells) <= 1:
-        return [_run_cell(cell) for cell in cells]
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-            return list(pool.map(_run_cell, cells))
-    except (OSError, PermissionError):
-        # no subprocesses available (restricted environments): degrade
-        # to the serial path rather than failing the experiment
-        return [_run_cell(cell) for cell in cells]
+    records = run_cells_recorded(cells, jobs=jobs, timeout=timeout)
+    for record in records:
+        if record.status != CELL_OK:
+            raise RuntimeError(
+                f"grid cell {record.cell!r} {record.status}: "
+                f"{record.error}")
+    return [record.outcome for record in records]

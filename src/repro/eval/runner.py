@@ -50,6 +50,9 @@ class RunOutcome:
     metrics: object = None
     #: Host wall-time attribution dict (``profile=True``).
     profile: object = None
+    #: Fault-injection record ({"spec", "counts", "log"}) when the run
+    #: executed under an armed fault plan (``faults=``); None otherwise.
+    faults: object = None
 
     @property
     def ok(self):
@@ -65,7 +68,7 @@ class RunOutcome:
 def run_workload(name, system, scale=1.0, config=None, variant=None,
                  nthreads=None, sanitize=False, schedule=None,
                  max_cycles=None, collect_state=False, trace=False,
-                 collect_metrics=False, profile=False):
+                 collect_metrics=False, profile=False, faults=None):
     """Run one workload under one system; never raises for the failure
     modes the paper studies.
 
@@ -90,6 +93,13 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
     ``profile=True`` attributes host wall time to simulator subsystems
     onto ``profile``.  All three are observer-/wrapper-based and leave
     simulated cycles bit-identical.
+
+    ``faults`` arms deterministic fault injection (see
+    :mod:`repro.faults`): a spec dict (``{"seed", "rates", "limits"}``)
+    or any object with a ``spec()`` method (a
+    :class:`~repro.faults.FaultPlan`).  The injection record lands on
+    the outcome's ``faults`` field; the same spec replays the identical
+    failure sequence regardless of ``REPRO_JOBS``.
     """
     profiler = None
     if profile:
@@ -103,6 +113,12 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
         workload = get_workload(name, scale=scale, nthreads=nthreads)
         program = workload.build(variant or workload_variant(system))
     runtime = make_runtime(system, config)
+    injector = None
+    if faults is not None:
+        from repro.faults import FaultInjector
+        spec = faults.spec() if hasattr(faults, "spec") else dict(faults)
+        injector = FaultInjector(**spec)
+        runtime.faults = injector
     policy = None
     if schedule is not None:
         from repro.schedule import make_policy
@@ -142,6 +158,13 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
             out.metrics = engine.metrics().snapshot()
         if profiler is not None:
             out.profile = profiler.report()
+        if injector is not None:
+            out.faults = {
+                "spec": {"seed": injector.seed,
+                         "rates": dict(injector.rates),
+                         "limits": dict(injector.limits)},
+                "counts": injector.fired_counts(),
+                "log": injector.log()}
         return out
 
     try:

@@ -1,0 +1,22 @@
+"""Deterministic fault injection and chaos harness (robustness layer).
+
+``FaultInjector`` draws seeded per-point failure decisions at named
+oskit/runtime fault points; ``FaultPlan`` is the versioned
+``repro-fault-plan/1`` artifact that replays a failure sequence
+exactly; ``chaos_repair_suite``/``chaos_smoke`` run plan campaigns over
+the repair suite against the pthreads final-state oracle.  See
+``docs/ROBUSTNESS.md``.
+"""
+
+from repro.faults.chaos import (ChaosCell, ChaosReport,
+                                ChaosSmokeResult, chaos_repair_suite,
+                                chaos_smoke, default_plans, replay_plan)
+from repro.faults.inject import FAULT_POINTS, FaultInjector
+from repro.faults.plan import FAULT_PLAN_FORMAT, FaultPlan, default_rates
+
+__all__ = [
+    "FAULT_PLAN_FORMAT", "FAULT_POINTS", "ChaosCell", "ChaosReport",
+    "ChaosSmokeResult", "FaultInjector", "FaultPlan",
+    "chaos_repair_suite", "chaos_smoke", "default_plans",
+    "default_rates", "replay_plan",
+]

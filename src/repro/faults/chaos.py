@@ -1,0 +1,339 @@
+"""Chaos runs: seeded fault plans over the repair suite.
+
+:func:`chaos_repair_suite` runs many :class:`~repro.faults.FaultPlan`
+seeds across the Figure 9 repair workloads on the hardened grid and
+holds every cell to the robustness invariant: *any* fault sequence must
+leave the workload's final state equal to the fault-free pthreads
+baseline (the metamorphic oracle via ``Workload.final_state``).  Each
+cell's verdict is
+
+- ``ok`` — completed, state matches, the degradation machinery never
+  had to engage;
+- ``degraded`` — completed and state matches, but the runtime took
+  visible damage (failed repair episodes, ladder transitions,
+  blacklisted pages) and recovered;
+- ``fail`` — state diverged, the run died, or the harness cell itself
+  failed/timed out.
+
+Every plan is written back as a ``repro-fault-plan/1`` artifact (with
+its injection log and verdict) under ``results/chaos/``, and failing
+plans are immediately re-run to confirm they replay identically —
+a chaos finding that does not reproduce is a determinism bug, which is
+its own finding.
+
+:func:`chaos_smoke` is the CI entry point: a small bounded plan set
+with a positive control (injections must actually fire) and a replay
+identity check.
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.eval.parallel import CELL_OK, run_cells_recorded
+from repro.eval.runner import OK, run_workload
+from repro.faults.plan import FaultPlan, default_rates
+from repro.workloads import repair_suite_names
+
+#: Cell verdicts, best to worst.
+VERDICT_OK = "ok"
+VERDICT_DEGRADED = "degraded"
+VERDICT_FAIL = "fail"
+
+#: Runtime-report keys whose nonzero value marks a cell ``degraded``.
+_DAMAGE_KEYS = ("degradations", "repair_episode_failures",
+                "pages_blacklisted")
+
+
+def default_plans(seeds=16, workloads=None, system="tmi-protect",
+                  scale=0.1, nthreads=None, schedule=None):
+    """Build the stock chaos plan set.
+
+    Seeds cycle over the repair-suite workloads with rate intensities
+    stepping through 0.5x/1x/1.5x/2x, so sixteen plans exercise every
+    workload family and every fault point at several pressures.
+    ``seeds`` is an int (``range(seeds)``) or an explicit iterable.
+    """
+    workloads = list(workloads or repair_suite_names())
+    seeds = range(seeds) if isinstance(seeds, int) else seeds
+    plans = []
+    for seed in seeds:
+        plans.append(FaultPlan(
+            workload=workloads[seed % len(workloads)], system=system,
+            seed=seed, scale=scale, nthreads=nthreads,
+            schedule=schedule,
+            rates=default_rates(0.5 + 0.5 * (seed % 4))))
+    return plans
+
+
+def _cell_for(plan):
+    """The ``run_workload`` keyword dict one plan describes."""
+    return dict(name=plan.workload, system=plan.system,
+                scale=plan.scale, nthreads=plan.nthreads,
+                variant=plan.variant, schedule=plan.schedule,
+                collect_state=True, faults=plan.spec())
+
+
+@dataclass
+class ChaosCell:
+    """One plan's run, classified against the pthreads baseline."""
+
+    plan: FaultPlan
+    verdict: str
+    detail: str = ""
+    #: Harness-level CellRecord for the run (None for baseline gaps).
+    record: object = None
+    #: Whether the final state matched the baseline (None = no run).
+    state_matches: object = None
+    #: Injections that actually fired, by point.
+    counts: dict = field(default_factory=dict)
+    #: Whether a re-run reproduced the identical outcome (failing
+    #: cells only; None = not checked).
+    replay_identical: object = None
+    #: Saved fault-plan artifact path.
+    artifact: object = None
+
+
+@dataclass
+class ChaosReport:
+    """Everything one :func:`chaos_repair_suite` call learned."""
+
+    cells: list
+    elapsed: float
+
+    @property
+    def ok(self):
+        """True when no cell failed (``ok``/``degraded`` only)."""
+        return all(c.verdict != VERDICT_FAIL for c in self.cells)
+
+    def verdict_counts(self):
+        """{verdict: count} over all cells (deterministic ordering)."""
+        totals = {VERDICT_OK: 0, VERDICT_DEGRADED: 0, VERDICT_FAIL: 0}
+        for cell in self.cells:
+            totals[cell.verdict] += 1
+        return totals
+
+    def summary_lines(self):
+        """Human-readable per-cell verdicts plus the totals line."""
+        totals = self.verdict_counts()
+        lines = [f"chaos: {len(self.cells)} plan(s) in "
+                 f"{self.elapsed:.1f}s -> "
+                 + ", ".join(f"{k}={v}" for k, v in totals.items())]
+        for cell in self.cells:
+            plan = cell.plan
+            fired = sum(cell.counts.values())
+            line = (f"  seed {plan.seed} {plan.workload}/{plan.system}:"
+                    f" {cell.verdict} ({fired} injection(s))")
+            if cell.replay_identical is not None:
+                line += (" [replays identically]"
+                         if cell.replay_identical
+                         else " [REPLAY DIVERGED]")
+            lines.append(line)
+            if cell.detail:
+                lines.append(f"    {cell.detail}")
+            if cell.artifact:
+                lines.append(f"    artifact: {cell.artifact}")
+        return lines
+
+
+def _classify(record, baseline_state):
+    """(verdict, detail, state_matches) for one harness cell record."""
+    if record.status != CELL_OK:
+        return (VERDICT_FAIL,
+                f"harness {record.status}: {record.error}", None)
+    outcome = record.outcome
+    if outcome.status != OK:
+        return (VERDICT_FAIL,
+                f"run ended {outcome.status}: {outcome.detail}", None)
+    matches = (baseline_state is None
+               or outcome.final_state == baseline_state)
+    if not matches:
+        diverged = sorted(
+            key for key in
+            set(baseline_state) | set(outcome.final_state or {})
+            if baseline_state.get(key)
+            != (outcome.final_state or {}).get(key))
+        return (VERDICT_FAIL, "final state diverged from pthreads "
+                "baseline: " + ", ".join(diverged), False)
+    report = (outcome.result.runtime_report
+              if outcome.result is not None else None) or {}
+    damage = {key: report[key] for key in _DAMAGE_KEYS
+              if report.get(key)}
+    if damage or report.get("ladder_level") not in (None, "protect"):
+        level = report.get("ladder_level")
+        parts = [f"{k}={v}" for k, v in sorted(damage.items())]
+        if level not in (None, "protect"):
+            parts.append(f"ladder_level={level}")
+        return (VERDICT_DEGRADED,
+                "recovered with " + ", ".join(parts), True)
+    return VERDICT_OK, "", True
+
+
+def _outcome_fingerprint(outcome):
+    """What a replay must reproduce exactly: simulated cycles, the
+    injection record, and the final-state digest."""
+    return (outcome.status,
+            outcome.result.cycles if outcome.result else None,
+            outcome.faults, outcome.final_state)
+
+
+def chaos_repair_suite(seeds=16, workloads=None, scale=0.1,
+                       nthreads=None, jobs=None, out_dir=None,
+                       timeout=None, replay_failures=True,
+                       baseline_system="pthreads"):
+    """Run a seeded chaos campaign; returns a :class:`ChaosReport`.
+
+    ``seeds`` is an int / iterable for :func:`default_plans`, or an
+    explicit list of :class:`FaultPlan` objects.  Baseline digests run
+    fault-free under ``baseline_system`` once per distinct workload
+    coordinate; chaos cells fan out on the hardened grid
+    (:func:`~repro.eval.parallel.run_cells_recorded`) with ``timeout``
+    seconds of wall clock per cell.  With ``replay_failures`` every
+    failing plan is re-run once and checked for an identical outcome.
+    """
+    start = time.monotonic()
+    if seeds and not isinstance(seeds, int) \
+            and isinstance(next(iter(seeds), None), FaultPlan):
+        plans = list(seeds)
+    else:
+        plans = default_plans(seeds, workloads=workloads, scale=scale,
+                              nthreads=nthreads)
+
+    coords = []
+    for plan in plans:
+        coord = (plan.workload, plan.scale, plan.nthreads, plan.variant)
+        if coord not in coords:
+            coords.append(coord)
+    baseline_records = run_cells_recorded(
+        [dict(name=w, system=baseline_system, scale=s, nthreads=n,
+              variant=v, collect_state=True)
+         for w, s, n, v in coords], jobs=jobs, timeout=timeout)
+    baselines = {}
+    for coord, record in zip(coords, baseline_records):
+        if record.status == CELL_OK and record.outcome.ok:
+            baselines[coord] = record.outcome.final_state
+        else:
+            baselines[coord] = None
+
+    records = run_cells_recorded([_cell_for(plan) for plan in plans],
+                                 jobs=jobs, timeout=timeout)
+    cells = []
+    for plan, record in zip(plans, records):
+        coord = (plan.workload, plan.scale, plan.nthreads, plan.variant)
+        baseline_state = baselines.get(coord)
+        verdict, detail, matches = _classify(record, baseline_state)
+        if baseline_state is None:
+            verdict = VERDICT_FAIL
+            detail = (f"no fault-free {baseline_system} baseline for "
+                      f"{plan.workload} (cannot check the metamorphic "
+                      "oracle); " + detail)
+        counts = {}
+        outcome = record.outcome
+        if outcome is not None and outcome.faults is not None:
+            counts = dict(outcome.faults["counts"])
+            plan.injections = list(outcome.faults["log"])
+            plan.counts = counts
+        plan.failure = ({} if verdict != VERDICT_FAIL
+                        else {"kind": verdict, "detail": detail})
+        cell = ChaosCell(plan=plan, verdict=verdict, detail=detail,
+                         record=record, state_matches=matches,
+                         counts=counts)
+        if replay_failures and verdict == VERDICT_FAIL \
+                and record.status == CELL_OK:
+            replay = run_workload(**_cell_for(plan))
+            cell.replay_identical = (
+                _outcome_fingerprint(replay)
+                == _outcome_fingerprint(outcome))
+        cell.artifact = plan.save(out_dir=out_dir)
+        cells.append(cell)
+    return ChaosReport(cells=cells,
+                       elapsed=time.monotonic() - start)
+
+
+def replay_plan(plan):
+    """Re-execute a saved :class:`FaultPlan` (or artifact path).
+
+    Returns ``(matches, detail, outcome)``: the re-run must fire the
+    recorded injection counts exactly and reach the recorded verdict
+    (clean plans must stay clean, failing plans must fail again).
+    """
+    import os
+    if isinstance(plan, (str, os.PathLike)):
+        plan = FaultPlan.load(plan)
+    outcome = run_workload(**_cell_for(plan))
+    counts = dict((outcome.faults or {}).get("counts", {}))
+    recorded = {point: n for point, n in (plan.counts or {}).items()
+                if n}
+    mismatches = []
+    if plan.counts and counts != recorded:
+        mismatches.append(f"injection counts {counts} != recorded "
+                          f"{recorded}")
+    failed = outcome.status != OK
+    if plan.failure and not failed:
+        mismatches.append(
+            f"recorded failure {plan.failure.get('kind')!r} did not "
+            "recur")
+    detail = ("; ".join(mismatches) if mismatches
+              else f"reproduced ({sum(counts.values())} injection(s), "
+                   f"status {outcome.status})")
+    return not mismatches, detail, outcome
+
+
+# ----------------------------------------------------------------------
+# CI chaos smoke
+# ----------------------------------------------------------------------
+
+@dataclass
+class ChaosSmokeResult:
+    """Pass/fail checks from one :func:`chaos_smoke` run."""
+
+    checks: list                      # (name, passed, detail)
+    report: ChaosReport
+
+    @property
+    def ok(self):
+        """True when every check passed."""
+        return all(passed for _, passed, _ in self.checks)
+
+    def summary_lines(self):
+        """Check verdicts, then the chaos cells behind them."""
+        lines = []
+        for name, passed, detail in self.checks:
+            mark = "PASS" if passed else "FAIL"
+            lines.append(f"[{mark}] {name}: {detail}")
+        lines.extend(self.report.summary_lines())
+        return lines
+
+
+def chaos_smoke(seeds=6, scale=0.05, jobs=None, out_dir=None,
+                timeout=None):
+    """Bounded CI chaos smoke: the fault machinery must *work*, fast.
+
+    - every cell must come back ``ok`` or cleanly ``degraded`` with
+      its final state equal to the pthreads baseline;
+    - positive control: the plans must actually inject (a chaos run
+      where nothing fires tests nothing);
+    - the busiest plan must replay identically when re-run.
+    """
+    plans = default_plans(seeds, workloads=("histogram", "histogramfs"),
+                          scale=scale)
+    report = chaos_repair_suite(plans, jobs=jobs, out_dir=out_dir,
+                                timeout=timeout)
+    checks = []
+    totals = report.verdict_counts()
+    checks.append((
+        "chaos cells survive (ok or cleanly degraded)", report.ok,
+        ", ".join(f"{k}={v}" for k, v in totals.items())))
+    fired = sum(sum(c.counts.values()) for c in report.cells)
+    checks.append((
+        "fault plans actually inject", fired > 0,
+        f"{fired} injection(s) across {len(report.cells)} cell(s)"))
+    busiest = max(report.cells, default=None,
+                  key=lambda c: sum(c.counts.values()))
+    if busiest is not None and sum(busiest.counts.values()):
+        matches, detail, _ = replay_plan(busiest.plan)
+        checks.append(("busiest plan replays identically", matches,
+                       f"seed {busiest.plan.seed}: {detail}"))
+    else:
+        checks.append(("busiest plan replays identically", False,
+                       "no plan fired any injection"))
+    return ChaosSmokeResult(checks=checks, report=report)

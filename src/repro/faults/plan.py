@@ -1,0 +1,120 @@
+"""Fault plans: the versioned, replayable record of one chaos run.
+
+A :class:`FaultPlan` mirrors :class:`~repro.schedule.trace.ScheduleTrace`
+one layer down: where a schedule trace pins *which thread ran when*, a
+fault plan pins *which substrate operations failed*.  It carries the
+run's coordinates (workload, system, scale, threads, variant, optional
+schedule-policy spec for fault×schedule cross-fuzzing), the injection
+parameters (seed, per-point rates and limits), and — after a run — the
+injection log and the failure it provoked.  Plans serialize to JSON
+artifacts under ``results/chaos/`` with a versioned format tag so drift
+is detected at load time rather than as garbage replays.
+"""
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import FaultPlanError
+from repro.eval.report import results_dir
+from repro.faults.inject import FAULT_POINTS
+
+#: Versioned artifact format tag.
+FAULT_PLAN_FORMAT = "repro-fault-plan/1"
+
+#: Per-point firing probabilities used by :func:`default_rates`; chosen
+#: so a typical repair-suite run exercises every recovery path without
+#: drowning the run in failures.
+_BASE_RATES = {
+    "perf.record_drop": 0.02,
+    "perf.buffer_overflow": 0.10,
+    "ptrace.attach_timeout": 0.25,
+    "ptrace.fork_fail": 0.15,
+    "shm.exhausted": 0.10,
+    "ptsb.commit_conflict": 0.05,
+    "ptsb.delayed_flush": 0.05,
+}
+
+
+def default_rates(intensity=1.0):
+    """The stock rate table scaled by ``intensity`` (capped at 0.9)."""
+    return {point: min(0.9, rate * intensity)
+            for point, rate in _BASE_RATES.items()}
+
+
+@dataclass
+class FaultPlan:
+    """One seeded failure sequence plus the run it was applied to."""
+
+    workload: str
+    system: str = "tmi-protect"
+    seed: int = 0
+    scale: float = 1.0
+    nthreads: object = None
+    variant: object = None
+    #: Optional schedule-policy spec dict (fault×schedule cross-fuzz).
+    schedule: object = None
+    rates: dict = field(default_factory=dict)
+    limits: dict = field(default_factory=dict)
+    #: Filled after a run: the fired-injection log and counts by point.
+    injections: list = field(default_factory=list)
+    counts: dict = field(default_factory=dict)
+    #: Failure record: {"kind": ..., "detail": ...} (empty = clean run).
+    failure: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        unknown = sorted(set(list(self.rates) + list(self.limits))
+                         - set(FAULT_POINTS))
+        if unknown:
+            raise FaultPlanError(
+                f"plan names unknown fault point(s) {unknown}")
+
+    # ------------------------------------------------------------------
+    def spec(self):
+        """Picklable injector spec for ``run_workload(faults=...)``."""
+        return {"seed": self.seed, "rates": dict(self.rates),
+                "limits": dict(self.limits)}
+
+    def to_dict(self):
+        """The artifact payload, format tag included."""
+        data = {"format": FAULT_PLAN_FORMAT}
+        data.update(asdict(self))
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a plan from :meth:`to_dict` output; the format tag
+        must match (drift fails loudly, not as a garbage replay)."""
+        tag = data.get("format")
+        if tag != FAULT_PLAN_FORMAT:
+            raise FaultPlanError(
+                f"unsupported fault plan format {tag!r} "
+                f"(expected {FAULT_PLAN_FORMAT})")
+        fields = {k: v for k, v in data.items() if k != "format"}
+        return cls(**fields)
+
+    # ------------------------------------------------------------------
+    def save(self, path=None, out_dir=None):
+        """Write the artifact; returns its path.
+
+        Default location: ``results/chaos/<workload>-<system>-
+        f<seed>.json`` (``REPRO_RESULTS_DIR`` aware).
+        """
+        if path is None:
+            directory = out_dir or os.path.join(results_dir(), "chaos")
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(directory, self.default_name())
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    def default_name(self):
+        """Artifact filename: ``<workload>-<system>-f<seed>.json``."""
+        return f"{self.workload}-{self.system}-f{self.seed}.json"
+
+    @classmethod
+    def load(cls, path):
+        """Read one saved fault-plan artifact."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))

@@ -189,6 +189,21 @@ class Tracer(EngineObserver):
         self._emit("ptsb_flush", self._now(info.get("tid")),
                    tid=info.get("tid"), region=info.get("region"))
 
+    def on_fault(self, event):
+        """Record one injected fault (or fault-driven page demotion)."""
+        fields = {k: v for k, v in event.items()
+                  if k not in ("kind", "ts", "cycle")}
+        self._emit("fault", event.get("cycle",
+                                      self._engine.machine.now),
+                   **fields)
+
+    def on_degradation(self, info):
+        """Record a degradation-ladder transition."""
+        self._emit("degradation", info.get("cycle", 0),
+                   interval=info.get("interval"),
+                   level_from=info.get("from"), level_to=info.get("to"),
+                   reason=info.get("reason"))
+
     # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------
@@ -233,7 +248,8 @@ _PID_MONITOR = 2
 #: Event kinds drawn on the per-core tracks.
 _CORE_KINDS = {"hitm", "ptsb_commit"}
 #: Event kinds drawn on the TMI monitor track.
-_MONITOR_KINDS = {"pebs_record", "detect_interval", "t2p"}
+_MONITOR_KINDS = {"pebs_record", "detect_interval", "t2p", "fault",
+                  "degradation"}
 
 
 def _microseconds(trace_data, cycle):

@@ -56,15 +56,25 @@ class PerfSession:
     ADDR_SKID_EVERY = 23
     ADDR_SKID_BYTES = 8
 
-    def __init__(self, costs, period=100):
+    #: Default bound on undrained records queued for the detector.
+    #: Generous: fault-free runs never approach it, so bounding the
+    #: queue does not perturb the cycle-exactness goldens.
+    QUEUE_LIMIT = 65_536
+
+    def __init__(self, costs, period=100, faults=None, queue_limit=None):
         self.costs = costs
         self.period = max(1, period)
+        self.faults = faults       # armed FaultInjector or None
+        self.queue_limit = (self.QUEUE_LIMIT if queue_limit is None
+                            else queue_limit)
         self._buffers = {}
         self._queue = []           # drained, awaiting the detector
         self.events_seen = 0       # all HITM events while attached
         self.events_eligible = 0   # after store subsampling
         self.records_made = 0
+        self.records_dropped = 0   # lost to overflow or injection
         self.interrupts = 0
+        self.overflows = 0         # whole-buffer losses
 
     # ------------------------------------------------------------------
     def attach_thread(self, tid):
@@ -92,22 +102,46 @@ class PerfSession:
         buffer.skid_counter += 1
         if buffer.skid_counter % self.ADDR_SKID_EVERY == 0:
             va += self.ADDR_SKID_BYTES
+        cost = self.costs.pebs_record
+        if self.faults is not None and self.faults.fire(
+                "perf.record_drop", cycle=event.cycle, tid=event.tid):
+            # the hardware wrote the record but it was overwritten
+            # before userspace read it: the cost stands, the data is lost
+            self.records_dropped += 1
+            return cost
         buffer.records.append(PebsRecord(
             cycle=event.cycle, tid=event.tid, pc=event.pc, va=va))
         self.records_made += 1
-        cost = self.costs.pebs_record
         if len(buffer.records) >= self.costs.pebs_buffer_records:
-            self._queue.extend(buffer.records)
-            buffer.records = []
             self.interrupts += 1
             cost += self.costs.pebs_interrupt
+            if self.faults is not None and self.faults.fire(
+                    "perf.buffer_overflow", cycle=event.cycle,
+                    tid=event.tid, lost=len(buffer.records)):
+                # interrupt handling stalled; the ring wrapped and the
+                # whole buffer was overwritten before it was copied out
+                self.overflows += 1
+                self.records_dropped += len(buffer.records)
+            else:
+                self._enqueue(buffer.records)
+            buffer.records = []
         return cost
+
+    def _enqueue(self, records):
+        """Queue flushed records for the detector, bounded."""
+        room = self.queue_limit - len(self._queue)
+        if room >= len(records):
+            self._queue.extend(records)
+            return
+        if room > 0:
+            self._queue.extend(records[:room])
+        self.records_dropped += len(records) - max(room, 0)
 
     def drain(self):
         """All pending records (detection thread consumption)."""
         for buffer in self._buffers.values():
             if buffer.records:
-                self._queue.extend(buffer.records)
+                self._enqueue(buffer.records)
                 buffer.records = []
         records, self._queue = self._queue, []
         return records

@@ -22,6 +22,14 @@ class ConversionRecord:
     thread_count: int
     total_cycles: int = 0
     per_thread_cycles: dict = field(default_factory=dict)
+    #: Threads whose fork() failed past its retry budget this batch
+    #: (only ever nonempty under an armed fault plan).
+    failed_tids: list = field(default_factory=list)
+
+    @property
+    def complete(self):
+        """Whether every thread in the batch was converted."""
+        return not self.failed_tids
 
     def t2p_microseconds(self, costs):
         """Wall time of the conversion in microseconds (Table 3, T2P)."""
@@ -53,14 +61,24 @@ class PtraceMonitor:
 
         self._engine.request_stop_world(callback)
 
-    def convert_all_threads(self, engine, stop_time):
+    def convert_all_threads(self, engine, stop_time, faults=None,
+                            fork_retries=0, only_tids=None):
         """Convert every live thread into its own process.
 
         Returns the :class:`ConversionRecord`; the per-thread fork,
         register save/restore, and trampoline costs are charged as
         wake-up penalties, and the batch is timed for Table 3.
+
+        With an armed ``faults`` injector, each thread's fork() may fail
+        (``ptrace.fork_fail``); it is retried up to ``fork_retries``
+        times, every attempt charging the fork cost, and a thread whose
+        budget runs out lands on the record's ``failed_tids`` still
+        unconverted.  ``only_tids`` restricts the batch (the repair
+        manager's retry episodes re-attempt exactly the failed threads).
         """
-        live = [t for t in engine.threads.values() if t.state != "done"]
+        live = [t for t in engine.threads.values()
+                if t.state != "done"
+                and (only_tids is None or t.tid in only_tids)]
         if not live:
             raise PtraceError("no threads to convert")
         record = ConversionRecord(stop_cycle=stop_time,
@@ -69,9 +87,23 @@ class PtraceMonitor:
                       + self._costs.fork
                       + self._costs.trampoline)
         for thread in live:
-            engine.convert_thread_to_process(thread)
-            thread.pending_penalty += per_thread
-            record.per_thread_cycles[thread.tid] = per_thread
+            cost = per_thread
+            converted = True
+            if faults is not None:
+                for attempt in range(fork_retries + 1):
+                    if not faults.fire("ptrace.fork_fail",
+                                       cycle=stop_time, tid=thread.tid,
+                                       attempt=attempt):
+                        break
+                    cost += self._costs.fork     # the failed attempt
+                else:
+                    converted = False
+            if converted:
+                engine.convert_thread_to_process(thread)
+            else:
+                record.failed_tids.append(thread.tid)
+            thread.pending_penalty += cost
+            record.per_thread_cycles[thread.tid] = cost
         # PM performs conversions serially but they overlap with the
         # per-thread stop window; the wall cost is one conversion plus
         # the attach round.

@@ -5,34 +5,65 @@ shared, file-backed region at program start, so that after threads
 become processes the same physical pages remain reachable, and so that
 individual pages can later be remapped process-private for repair
 (paper section 3.2, Figure 6).
+
+Error paths raise :class:`~repro.errors.ShmError` subclasses with the
+offending name attached; an armed :class:`~repro.faults.FaultInjector`
+can additionally make ``shm_open`` fail (``shm.exhausted``), which the
+TMI runtime survives by retrying and, persistently, by falling back to
+private memory with repair disabled (see ``docs/ROBUSTNESS.md``).
 """
 
-from repro.errors import InvalidMappingError
+from repro.errors import ShmExhaustedError, ShmNameError, \
+    ShmSizeMismatchError
 from repro.sim.addrspace import Backing
 
 
 class SharedMemoryNamespace:
-    """Registry of named shared regions for one simulated system."""
+    """Registry of named shared regions for one simulated system.
 
-    def __init__(self, physmem):
+    ``capacity`` bounds the number of live regions (the ``ENOSPC``
+    analog); ``faults`` is an optional armed injector consulted at
+    every create.
+    """
+
+    def __init__(self, physmem, capacity=64, faults=None):
         self._physmem = physmem
         self._regions = {}
+        self.capacity = capacity
+        self.faults = faults
 
     def shm_open(self, name, nbytes):
-        """Create (or reopen) a named shared region."""
+        """Create (or reopen) a named shared region.
+
+        Reopening with the creation size returns the existing region;
+        any other size raises :class:`ShmSizeMismatchError`.  Creation
+        raises :class:`ShmExhaustedError` when the namespace is full or
+        when an armed fault plan injects ``shm.exhausted``.
+        """
         region = self._regions.get(name)
         if region is not None:
             if region.nbytes != nbytes:
-                raise InvalidMappingError(
-                    f"shm {name!r} reopened with different size")
+                raise ShmSizeMismatchError(name, region.nbytes, nbytes)
             return region
+        if len(self._regions) >= self.capacity:
+            raise ShmExhaustedError(
+                name, f"capacity {self.capacity} reached")
+        if self.faults is not None and \
+                self.faults.fire("shm.exhausted", name=name):
+            raise ShmExhaustedError(name, "injected exhaustion")
         region = Backing(self._physmem, nbytes, name=name,
                          file_backed=True)
         self._regions[name] = region
         return region
 
     def shm_unlink(self, name):
-        self._regions.pop(name, None)
+        """Remove a named region; unknown names raise
+        :class:`ShmNameError` (the ``ENOENT`` analog) instead of
+        passing silently."""
+        if name not in self._regions:
+            raise ShmNameError(name, self.names())
+        del self._regions[name]
 
     def names(self):
+        """Sorted live region names."""
         return sorted(self._regions)

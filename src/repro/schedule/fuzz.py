@@ -132,7 +132,7 @@ def fuzz_workload(name, system="pthreads", policy="random", seeds=16,
                   scale=0.1, nthreads=None, variant=None, config=None,
                   max_cycles=None, budget=None, jobs=None, out_dir=None,
                   sanitize=True, shrink=True, max_shrinks=4,
-                  shrink_attempts=48):
+                  shrink_attempts=48, faults=None):
     """Fuzz one (workload, system) cell over seeded schedules.
 
     ``seeds`` is an int (``range(seeds)``) or an explicit iterable;
@@ -144,6 +144,14 @@ def fuzz_workload(name, system="pthreads", policy="random", seeds=16,
     livelocking interleaving surfaces as a ``budget`` finding with a
     replayable trace instead of hanging the fuzzer.
 
+    ``faults`` cross-fuzzes schedules against a deterministic fault
+    plan (a ``{"seed", "rates", "limits"}`` spec or a
+    :class:`~repro.faults.FaultPlan`): every fuzzed cell runs with the
+    plan armed while the baseline digest stays fault-free, so a fault
+    sequence that corrupts final state surfaces as a
+    :data:`STATE_MISMATCH` finding whose artifact replays both the
+    schedule and the faults.
+
     Returns a :class:`FuzzReport`; every finding's trace artifact is
     already written (``results/fuzz/`` unless ``out_dir``).
     """
@@ -152,9 +160,14 @@ def fuzz_workload(name, system="pthreads", policy="random", seeds=16,
         seeds = list(range(seeds))
     else:
         seeds = list(seeds)
+    fault_spec = None
+    if faults is not None:
+        fault_spec = (faults.spec() if hasattr(faults, "spec")
+                      else dict(faults))
     base_kwargs = dict(name=name, system=system, scale=scale,
                        config=config, variant=variant, nthreads=nthreads,
                        sanitize=sanitize, collect_state=True)
+    cell_kwargs = dict(base_kwargs, faults=fault_spec)
     baseline = run_workload(**base_kwargs)
     baseline_state = baseline.final_state
     baseline_signatures = race_signatures(baseline.analysis)
@@ -174,7 +187,7 @@ def fuzz_workload(name, system="pthreads", policy="random", seeds=16,
             budget_exhausted = True
             break
         chunk, pending = pending[:batch], pending[batch:]
-        cells = [dict(base_kwargs, max_cycles=max_cycles,
+        cells = [dict(cell_kwargs, max_cycles=max_cycles,
                       schedule=_policy_spec(policy, seed))
                  for seed in chunk]
         for seed, outcome in zip(chunk, run_cells(cells, jobs=jobs)):
@@ -195,7 +208,7 @@ def fuzz_workload(name, system="pthreads", policy="random", seeds=16,
         if shrink and shrunk < max_shrinks and finding.decisions:
             original = len(finding.decisions)
             finding.decisions = _shrink_finding(
-                finding, base_kwargs, max_cycles, baseline_state,
+                finding, cell_kwargs, max_cycles, baseline_state,
                 shrink_attempts, deadline)
             finding.shrunk_from = original
             shrunk += 1
@@ -203,7 +216,7 @@ def fuzz_workload(name, system="pthreads", policy="random", seeds=16,
             workload=name, system=system, policy=finding.policy,
             seed=finding.seed, scale=scale, nthreads=nthreads,
             variant=variant, max_cycles=max_cycles,
-            decisions=list(finding.decisions),
+            decisions=list(finding.decisions), faults=fault_spec,
             failure={"kind": finding.kind, "detail": finding.detail,
                      "signatures": [list(s) for s in finding.signatures]})
         finding.artifact = trace.save(out_dir=out_dir)

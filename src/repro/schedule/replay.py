@@ -67,8 +67,11 @@ def replay_trace(trace, config=None):
                   max_cycles=trace.max_cycles)
     baseline_state = None
     if trace.failure.get("kind") == STATE_MISMATCH:
+        # the digest is always rebuilt fault-free: it is the
+        # metamorphic oracle the faulted run is checked against
         baseline_state = run_workload(**kwargs).final_state
-    outcome = run_workload(**kwargs, schedule=trace.policy_spec())
+    outcome = run_workload(**kwargs, schedule=trace.policy_spec(),
+                           faults=getattr(trace, "faults", None))
     kind, _detail, signatures = classify_outcome(outcome, baseline_state)
     return ReplayResult(trace=trace, outcome=outcome, kind=kind,
                         signatures=signatures)

@@ -33,6 +33,11 @@ class ScheduleTrace:
     variant: object = None
     max_cycles: object = None
     decisions: list = field(default_factory=list)
+    #: Fault-injection spec ({"seed", "rates", "limits"}) when the run
+    #: was cross-fuzzed under a fault plan, so a replay re-arms the
+    #: identical failure sequence; None for fault-free traces (older
+    #: artifacts omit the key entirely).
+    faults: object = None
     #: Failure record: {"kind": ..., "detail": ..., "signatures": [...]}.
     #: ``signatures`` are [rule, label, line_va] triples from the race
     #: sanitizer, the replay identity check's ground truth.

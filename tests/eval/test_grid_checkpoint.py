@@ -1,0 +1,107 @@
+"""Checkpointed grids: resume skips ok cells, re-attempts failures."""
+
+import json
+import os
+
+import pytest
+
+from repro.eval import parallel
+from repro.eval.grid import (CHECKPOINT_FORMAT, cell_key,
+                             checkpoint_path, run_checkpointed,
+                             run_grid, summarize_outcome)
+
+
+def _marker_cell(cell):
+    """Fake ``run_workload``: fails until the cell's marker exists."""
+    need = cell.get("need")
+    if need and not os.path.exists(need):
+        raise RuntimeError(f"marker {need} missing")
+    return dict(cell, ran=True)
+
+
+@pytest.fixture
+def marker_pool(monkeypatch):
+    monkeypatch.setattr(parallel, "_run_cell", _marker_cell)
+
+
+class TestCellKey:
+    def test_stable_across_dict_ordering(self):
+        assert cell_key({"a": 1, "b": 2}) == cell_key({"b": 2, "a": 1})
+
+    def test_distinct_cells_distinct_keys(self):
+        assert cell_key({"a": 1}) != cell_key({"a": 2})
+
+
+class TestSummarize:
+    def test_none_passthrough(self):
+        assert summarize_outcome(None) is None
+
+    def test_foreign_outcome_tolerated(self):
+        # checkpoint summaries must not explode on fake outcomes
+        summary = summarize_outcome({"not": "a RunOutcome"})
+        assert summary["status"] is None and summary["cycles"] is None
+
+
+class TestResume:
+    def cells(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        return marker, [{"id": "good"}, {"id": "bad", "need": marker}]
+
+    def test_failure_then_resume(self, marker_pool, tmp_path):
+        marker, cells = self.cells(tmp_path)
+        out_dir = str(tmp_path / "ckpt")
+
+        first = run_checkpointed(cells, "demo", jobs=1,
+                                 out_dir=out_dir)
+        assert [r.status for r in first] == ["ok", "failed"]
+        path = checkpoint_path("demo", out_dir=out_dir)
+        data = json.load(open(path))
+        assert data["format"] == CHECKPOINT_FORMAT
+        assert len(data["cells"]) == 2
+
+        # resume: the ok cell is restored, the failed one re-attempted
+        # (and now succeeds because its marker exists)
+        open(marker, "w").write("ready\n")
+        second = run_checkpointed(cells, "demo", jobs=1,
+                                  out_dir=out_dir)
+        good, bad = second
+        assert good.from_checkpoint and good.status == "ok"
+        assert good.outcome is None          # summary only, no re-run
+        assert not bad.from_checkpoint and bad.status == "ok"
+        assert bad.outcome["ran"] is True
+
+        # third run: everything restores, nothing executes
+        third = run_checkpointed(cells, "demo", jobs=1,
+                                 out_dir=out_dir)
+        assert all(r.from_checkpoint for r in third)
+
+    def test_fresh_discards_checkpoint(self, marker_pool, tmp_path):
+        marker, cells = self.cells(tmp_path)
+        out_dir = str(tmp_path / "ckpt")
+        open(marker, "w").write("ready\n")
+        run_checkpointed(cells, "demo", jobs=1, out_dir=out_dir)
+        records = run_checkpointed(cells, "demo", jobs=1,
+                                   out_dir=out_dir, fresh=True)
+        assert not any(r.from_checkpoint for r in records)
+
+    def test_bad_format_rejected(self, marker_pool, tmp_path):
+        out_dir = str(tmp_path / "ckpt")
+        path = checkpoint_path("demo", out_dir=out_dir)
+        os.makedirs(out_dir, exist_ok=True)
+        json.dump({"format": "something-else/9", "cells": {}},
+                  open(path, "w"))
+        with pytest.raises(ValueError, match="unsupported"):
+            run_checkpointed([{"id": "x"}], "demo", jobs=1,
+                             out_dir=out_dir)
+
+
+class TestGridReport:
+    def test_counts_and_summary(self, marker_pool, tmp_path):
+        out_dir = str(tmp_path / "ckpt")
+        cells = [{"id": "a"}, {"id": "b",
+                               "need": str(tmp_path / "never")}]
+        report = run_grid(cells, "rep", jobs=1, out_dir=out_dir)
+        assert report.counts == {"ok": 1, "failed": 1}
+        lines = report.summary_lines()
+        assert lines[0].startswith("grid rep:")
+        assert any("failed" in line for line in lines[1:])

@@ -1,0 +1,106 @@
+"""Hardened grid pool: worker death, exceptions, timeouts, REPRO_JOBS.
+
+The flaky-cell worker below misbehaves only in *child* processes
+(``os.getpid() != _MAIN_PID``), so the parent's serial retry of the
+same cell succeeds — which is exactly the recovery path under test.
+Requires the ``fork`` start method (monkeypatched ``_run_cell``
+propagates into forked workers); the whole module is skipped elsewhere.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.eval import parallel
+from repro.eval.parallel import (CELL_FAILED, CELL_OK, CELL_TIMEOUT,
+                                 job_count, run_cells,
+                                 run_cells_recorded)
+
+pytestmark = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="flaky-cell fixture needs fork-inherited monkeypatching")
+
+_MAIN_PID = os.getpid()
+
+
+def _flaky_cell(cell):
+    """Stand-in for ``run_workload``: misbehaves only in children."""
+    in_child = os.getpid() != _MAIN_PID
+    if cell.get("die") and in_child:
+        os._exit(3)                  # simulate a segfaulted worker
+    if cell.get("sleep") and in_child:
+        time.sleep(cell["sleep"])
+    if cell.get("raise"):
+        raise ValueError("boom")
+    return dict(cell, ran_in=os.getpid())
+
+
+@pytest.fixture
+def flaky_pool(monkeypatch):
+    monkeypatch.setattr(parallel, "_run_cell", _flaky_cell)
+
+
+class TestJobCount:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert job_count(3) == 3
+
+    def test_env_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert job_count() == 5
+
+    def test_malformed_env_warns_and_pins_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS='many'"):
+            assert job_count() == 1
+
+    def test_floor_of_one(self):
+        assert job_count(0) == 1
+        assert job_count(-4) == 1
+
+
+class TestBrokenPool:
+    def test_dead_worker_cells_retried_serially(self, flaky_pool):
+        cells = [{"id": 0}, {"id": 1, "die": True}, {"id": 2}]
+        records = run_cells_recorded(cells, jobs=2)
+        assert [r.status for r in records] == [CELL_OK] * 3
+        died = records[1]
+        assert died.retried
+        assert died.outcome["ran_in"] == _MAIN_PID   # serial re-run
+        # only cells the pool never finished are marked retried
+        assert not any(r.retried for r in records
+                       if not r.cell.get("die")
+                       and r.outcome["ran_in"] != _MAIN_PID)
+
+
+class TestWorkerException:
+    def test_raising_cell_retried_then_recorded_failed(self,
+                                                       flaky_pool):
+        cells = [{"id": 0}, {"id": 1, "raise": True}]
+        records = run_cells_recorded(cells, jobs=2)
+        assert records[0].status == CELL_OK
+        bad = records[1]
+        assert bad.status == CELL_FAILED
+        assert bad.retried
+        assert "boom" in bad.error
+
+    def test_run_cells_raises_on_persistent_failure(self, flaky_pool):
+        with pytest.raises(RuntimeError, match="failed"):
+            run_cells([{"id": 0}, {"id": 1, "raise": True}], jobs=2)
+
+    def test_serial_failure_recorded(self, flaky_pool):
+        records = run_cells_recorded([{"id": 0, "raise": True}], jobs=1)
+        assert records[0].status == CELL_FAILED
+        assert "boom" in records[0].error
+
+
+class TestTimeout:
+    def test_slow_cell_recorded_as_timeout(self, flaky_pool):
+        cells = [{"id": 0}, {"id": 1, "sleep": 5}]
+        records = run_cells_recorded(cells, jobs=2, timeout=0.5)
+        assert records[0].status == CELL_OK
+        assert records[1].status == CELL_TIMEOUT
+        assert not records[1].retried     # would blow the budget again
+        assert "wall-clock" in records[1].error

@@ -1,0 +1,53 @@
+"""Chaos harness: smoke campaign, artifacts, and plan replay."""
+
+import json
+import os
+
+import pytest
+
+from repro.faults import (FAULT_PLAN_FORMAT, FaultPlan, chaos_smoke,
+                          default_plans, replay_plan)
+
+
+@pytest.fixture(scope="module")
+def smoke(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("chaos")
+    return chaos_smoke(seeds=3, jobs=1, out_dir=str(out_dir)), out_dir
+
+
+class TestChaosSmoke:
+    def test_all_checks_pass(self, smoke):
+        result, _ = smoke
+        assert result.ok, "\n".join(result.summary_lines())
+
+    def test_every_cell_has_a_verdict(self, smoke):
+        result, _ = smoke
+        assert len(result.report.cells) == 3
+        assert all(c.verdict in ("ok", "degraded")
+                   for c in result.report.cells)
+
+    def test_artifacts_written(self, smoke):
+        result, out_dir = smoke
+        for cell in result.report.cells:
+            assert os.path.exists(cell.artifact)
+            data = json.load(open(cell.artifact))
+            assert data["format"] == FAULT_PLAN_FORMAT
+
+    def test_artifact_replays(self, smoke):
+        result, _ = smoke
+        busiest = max(result.report.cells,
+                      key=lambda c: sum(c.counts.values()))
+        plan = FaultPlan.load(busiest.artifact)
+        matches, detail, outcome = replay_plan(plan)
+        assert matches, detail
+        assert outcome.faults["counts"] == busiest.counts
+
+
+class TestDefaultPlans:
+    def test_seeds_cycle_workloads_and_intensities(self):
+        plans = default_plans(5, workloads=("a-wl", "b-wl"), scale=0.2)
+        assert [p.workload for p in plans] == \
+            ["a-wl", "b-wl", "a-wl", "b-wl", "a-wl"]
+        assert [p.seed for p in plans] == [0, 1, 2, 3, 4]
+        assert plans[0].rates != plans[1].rates    # intensity steps
+        assert all(p.scale == 0.2 for p in plans)

@@ -1,0 +1,69 @@
+"""Fault determinism and the metamorphic repair oracle.
+
+Same seed + same plan must produce byte-identical results regardless
+of ``REPRO_JOBS``, and a faulted ``tmi-protect`` run must leave the
+workload's final state equal to the fault-free ``pthreads`` baseline
+(repair plus recovery never changes program semantics).
+"""
+
+import json
+
+import pytest
+
+from repro.eval.parallel import run_cells
+from repro.eval.runner import run_workload
+from repro.faults import default_rates
+
+CELL = dict(name="histogramfs", system="tmi-protect", scale=0.1,
+            collect_state=True, collect_metrics=True,
+            faults={"seed": 3, "rates": default_rates(2.0)})
+
+
+def fingerprint(outcome):
+    """Byte-comparable digest of everything a fault may perturb."""
+    return json.dumps({
+        "status": outcome.status,
+        "cycles": outcome.cycles,
+        "faults": outcome.faults,
+        "metrics": outcome.metrics,
+        "state": outcome.final_state,
+    }, sort_keys=True, default=str)
+
+
+class TestJobCountIndependence:
+    def test_identical_across_serial_and_pooled(self):
+        serial = run_cells([dict(CELL), dict(CELL)], jobs=1)
+        pooled = run_cells([dict(CELL), dict(CELL)], jobs=2)
+        prints = {fingerprint(o) for o in serial + pooled}
+        assert len(prints) == 1
+
+    def test_faults_actually_fired(self):
+        outcome = run_workload(**CELL)
+        assert outcome.faults["counts"], \
+            "plan injected nothing; the test proves nothing"
+        assert outcome.faults["spec"]["seed"] == 3
+
+
+class TestZeroCostWhenEmpty:
+    def test_armed_but_empty_injector_matches_plain_run(self):
+        plain = run_workload(name="histogramfs", system="tmi-protect",
+                             scale=0.1)
+        armed = run_workload(name="histogramfs", system="tmi-protect",
+                             scale=0.1, faults={"seed": 0, "rates": {}})
+        assert armed.cycles == plain.cycles
+        assert armed.status == plain.status
+        assert armed.faults["counts"] == {}
+
+
+class TestMetamorphicOracle:
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_faulted_repair_preserves_final_state(self, seed):
+        baseline = run_workload(name="histogramfs", system="pthreads",
+                                scale=0.1, collect_state=True)
+        faulted = run_workload(
+            name="histogramfs", system="tmi-protect", scale=0.1,
+            collect_state=True,
+            faults={"seed": seed, "rates": default_rates(2.0)})
+        assert baseline.status == "ok"
+        assert faulted.status == "ok"
+        assert faulted.final_state == baseline.final_state

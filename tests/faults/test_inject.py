@@ -1,0 +1,100 @@
+"""FaultInjector determinism: seeded, point-isolated, limit-aligned."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import FAULT_POINTS, FaultInjector
+
+POINT = "ptrace.attach_timeout"
+OTHER = "ptsb.commit_conflict"
+
+
+def decisions(injector, point, n=200):
+    return [injector.fire(point) for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = FaultInjector(seed=7, rates={POINT: 0.3})
+        b = FaultInjector(seed=7, rates={POINT: 0.3})
+        assert decisions(a, POINT) == decisions(b, POINT)
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(seed=7, rates={POINT: 0.3})
+        b = FaultInjector(seed=8, rates={POINT: 0.3})
+        assert decisions(a, POINT) != decisions(b, POINT)
+
+    def test_point_streams_are_independent(self):
+        # Arming (and drawing from) a second point must not reshuffle
+        # the first point's decision sequence.
+        alone = FaultInjector(seed=3, rates={POINT: 0.3})
+        mixed = FaultInjector(seed=3, rates={POINT: 0.3, OTHER: 0.5})
+        got_alone, got_mixed = [], []
+        for _ in range(200):
+            got_alone.append(alone.fire(POINT))
+            got_mixed.append(mixed.fire(POINT))
+            mixed.fire(OTHER)       # interleaved draws elsewhere
+        assert got_alone == got_mixed
+
+    def test_zero_rate_never_fires(self):
+        injector = FaultInjector(seed=1, rates={POINT: 0.0})
+        assert not any(decisions(injector, POINT))
+        assert injector.fired_counts() == {}
+
+    def test_unarmed_point_never_fires(self):
+        injector = FaultInjector(seed=1, rates={POINT: 1.0})
+        assert injector.fire(OTHER) is False
+
+
+class TestValidation:
+    def test_unknown_rate_point_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault point"):
+            FaultInjector(rates={"nope.bogus": 0.5})
+
+    def test_unknown_limit_point_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault point"):
+            FaultInjector(limits={"nope.bogus": 2})
+
+    def test_registry_points_have_descriptions(self):
+        for point, text in FAULT_POINTS.items():
+            assert "." in point and text
+
+
+class TestLimits:
+    def test_limit_caps_firings_without_shifting_stream(self):
+        # A limited plan agrees with the unlimited plan on *which*
+        # draws fire, up to the cap: the stream advances past it.
+        free = FaultInjector(seed=5, rates={POINT: 0.5})
+        capped = FaultInjector(seed=5, rates={POINT: 0.5},
+                               limits={POINT: 3})
+        fired_free = [i for i in range(100) if free.fire(POINT)]
+        fired_capped = [i for i in range(100) if capped.fire(POINT)]
+        assert fired_capped == fired_free[:3]
+        assert capped.counts[POINT] == 3
+
+
+class TestLogging:
+    def test_context_recorded_in_firing_order(self):
+        injector = FaultInjector(seed=2, rates={POINT: 1.0})
+        injector.fire(POINT, cycle=10, tid=1)
+        injector.fire(POINT, cycle=20, tid=2)
+        log = injector.log()
+        assert [e["seq"] for e in log] == [0, 1]
+        assert log[0]["cycle"] == 10 and log[1]["tid"] == 2
+        assert all(e["point"] == POINT for e in log)
+
+    def test_pending_events_cursor(self):
+        injector = FaultInjector(seed=2, rates={POINT: 1.0})
+        injector.fire(POINT)
+        assert len(injector.pending_events()) == 1
+        assert injector.pending_events() == []
+        injector.fire(POINT)
+        injector.fire(POINT)
+        assert len(injector.pending_events()) == 2
+
+    def test_fired_counts_only_nonzero(self):
+        injector = FaultInjector(seed=2, rates={POINT: 1.0,
+                                                OTHER: 0.0})
+        injector.fire(POINT)
+        injector.fire(OTHER)
+        assert injector.fired_counts() == {POINT: 1}

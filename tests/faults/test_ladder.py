@@ -1,0 +1,116 @@
+"""DegradationLadder: budgets, staged fallback, cooldown re-arm."""
+
+from repro.core.config import TmiConfig
+from repro.core.ladder import LEVELS, DegradationLadder
+
+
+def make_ladder(on_transition=None, **overrides):
+    config = TmiConfig(episode_failure_budget=2,
+                       ladder_cooldown_intervals=3,
+                       perf_fault_budget=10, **overrides)
+    return DegradationLadder(config, on_transition=on_transition)
+
+
+class TestLevels:
+    def test_level_order_weakest_first(self):
+        assert LEVELS == ("alloc", "detect", "protect")
+
+    def test_starts_fully_armed(self):
+        ladder = make_ladder()
+        assert ladder.level == "protect"
+        assert ladder.level_index == 2
+        assert ladder.allows_repair() and ladder.allows_detection()
+
+    def test_fault_free_never_moves(self):
+        ladder = make_ladder()
+        for interval in range(50):
+            ladder.note_perf_drops(0, interval * 1000, interval)
+            ladder.tick(interval * 1000, interval)
+        assert ladder.level == "protect"
+        assert ladder.transitions == []
+
+
+class TestEpisodeBudget:
+    def test_failures_below_budget_stay_armed(self):
+        ladder = make_ladder()
+        ladder.note_episode_failure(100, 1, "attach-timeout")
+        assert ladder.level == "protect"
+
+    def test_budget_exhaustion_demotes_to_detect(self):
+        ladder = make_ladder()
+        ladder.note_episode_failure(100, 1, "attach-timeout")
+        ladder.note_episode_failure(200, 1, "fork-failure")
+        assert ladder.level == "detect"
+        assert not ladder.allows_repair()
+        assert ladder.allows_detection()
+        assert ladder.transitions[-1]["reason"] == "fork-failure"
+
+    def test_success_resets_streak(self):
+        ladder = make_ladder()
+        ladder.note_episode_failure(100, 1, "attach-timeout")
+        ladder.note_episode_success()
+        ladder.note_episode_failure(200, 2, "attach-timeout")
+        assert ladder.level == "protect"
+
+
+class TestPerfBudget:
+    def test_record_loss_demotes(self):
+        ladder = make_ladder()
+        ladder.note_perf_drops(9, 100, 1)
+        assert ladder.level == "protect"
+        ladder.note_perf_drops(12, 200, 2)
+        assert ladder.level == "detect"
+
+    def test_loss_can_demote_all_the_way_to_alloc(self):
+        ladder = make_ladder()
+        ladder.note_perf_drops(10, 100, 1)
+        ladder.note_perf_drops(20, 200, 2)
+        assert ladder.level == "alloc"
+        assert not ladder.allows_detection()
+        # further loss at the floor is a no-op, not an error
+        ladder.note_perf_drops(30, 300, 3)
+        assert ladder.level == "alloc"
+
+
+class TestCooldown:
+    def degrade(self, ladder, interval=1):
+        ladder.note_episode_failure(100, interval, "attach-timeout")
+        ladder.note_episode_failure(200, interval, "attach-timeout")
+
+    def test_rearm_after_cooldown(self):
+        ladder = make_ladder()
+        self.degrade(ladder)
+        ladder.tick(300, 2)
+        ladder.tick(400, 3)
+        assert ladder.level == "detect"      # cooldown not elapsed
+        ladder.tick(500, 4)
+        assert ladder.level == "protect"
+        assert ladder.transitions[-1]["reason"] == "cooldown-rearm"
+
+    def test_rearm_resets_failure_streak(self):
+        ladder = make_ladder()
+        self.degrade(ladder)
+        ladder.tick(500, 4)
+        assert ladder.episode_failures == 0
+
+    def test_permanent_force_lowers_ceiling(self):
+        ladder = make_ladder()
+        ladder.force_level("detect", 0, 0, "shm-exhausted",
+                           permanent=True)
+        assert ladder.level == "detect"
+        for interval in range(1, 20):
+            ladder.tick(interval * 1000, interval)
+        assert ladder.level == "detect"      # never climbs past ceiling
+        assert ladder.ceiling == "detect"
+
+
+class TestTransitions:
+    def test_callback_and_log_agree(self):
+        seen = []
+        ladder = make_ladder(on_transition=seen.append)
+        ladder.note_episode_failure(100, 1, "attach-timeout")
+        ladder.note_episode_failure(250, 1, "attach-timeout")
+        assert seen == ladder.transitions
+        info = seen[0]
+        assert info["from"] == "protect" and info["to"] == "detect"
+        assert info["cycle"] == 250 and info["interval"] == 1

@@ -1,0 +1,61 @@
+"""FaultPlan artifacts: versioned round-trips and rate tables."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (FAULT_PLAN_FORMAT, FaultPlan, default_rates)
+
+
+def make_plan():
+    return FaultPlan(workload="histogram", system="tmi-protect",
+                     seed=11, scale=0.1,
+                     rates={"ptrace.fork_fail": 0.2},
+                     limits={"ptrace.fork_fail": 5})
+
+
+class TestRoundTrip:
+    def test_to_from_dict(self):
+        plan = make_plan()
+        data = plan.to_dict()
+        assert data["format"] == FAULT_PLAN_FORMAT
+        clone = FaultPlan.from_dict(data)
+        assert clone == plan
+
+    def test_wrong_format_rejected(self):
+        data = make_plan().to_dict()
+        data["format"] = "repro-fault-plan/999"
+        with pytest.raises(FaultPlanError, match="unsupported"):
+            FaultPlan.from_dict(data)
+
+    def test_save_load_default_name(self, tmp_path):
+        plan = make_plan()
+        path = plan.save(out_dir=str(tmp_path))
+        assert os.path.basename(path) == "histogram-tmi-protect-f11.json"
+        assert json.load(open(path))["format"] == FAULT_PLAN_FORMAT
+        assert FaultPlan.load(path) == plan
+
+
+class TestValidation:
+    def test_unknown_point_rejected_at_construction(self):
+        with pytest.raises(FaultPlanError, match="unknown fault point"):
+            FaultPlan(workload="histogram", rates={"bad.point": 0.1})
+
+    def test_spec_feeds_the_injector(self):
+        spec = make_plan().spec()
+        assert set(spec) == {"seed", "rates", "limits"}
+        assert spec["seed"] == 11
+        assert spec["rates"] == {"ptrace.fork_fail": 0.2}
+
+
+class TestDefaultRates:
+    def test_intensity_scales(self):
+        base = default_rates()
+        double = default_rates(2.0)
+        assert double["perf.record_drop"] == \
+            pytest.approx(2 * base["perf.record_drop"])
+
+    def test_rates_capped_below_certainty(self):
+        assert all(rate <= 0.9 for rate in default_rates(50.0).values())

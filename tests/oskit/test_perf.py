@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults import FaultInjector
 from repro.oskit.perf import PerfSession
 from repro.sim.costs import CostModel
 from repro.sim.events import HitmEvent
@@ -101,3 +102,44 @@ class TestEstimation:
         one = session.buffer_memory_bytes()
         session.attach_thread(2)
         assert session.buffer_memory_bytes() == 2 * one
+
+
+class TestFaultsAndBounds:
+    def test_record_drop_loses_data_but_charges_cost(self):
+        costs = CostModel()
+        faults = FaultInjector(seed=0, rates={"perf.record_drop": 1.0})
+        session = PerfSession(costs, period=1, faults=faults)
+        session.attach_thread(1)
+        charged = [session.on_hitm(hitm()) for _ in range(10)]
+        assert session.records_made == 0
+        assert session.records_dropped == 10
+        assert all(c == costs.pebs_record for c in charged)
+        assert session.drain() == []
+
+    def test_buffer_overflow_drops_whole_buffer(self):
+        costs = CostModel()
+        faults = FaultInjector(seed=0,
+                               rates={"perf.buffer_overflow": 1.0})
+        session = PerfSession(costs, period=1, faults=faults)
+        session.attach_thread(1)
+        for _ in range(costs.pebs_buffer_records):
+            session.on_hitm(hitm())
+        assert session.overflows == 1
+        assert session.records_dropped == costs.pebs_buffer_records
+        assert session.drain() == []
+
+    def test_detector_queue_is_bounded(self):
+        session = PerfSession(CostModel(), period=1, queue_limit=5)
+        session.attach_thread(1)
+        for _ in range(8):
+            session.on_hitm(hitm())
+        records = session.drain()
+        assert len(records) == 5
+        assert session.records_dropped == 3
+
+    def test_no_faults_no_drops(self, session):
+        session.attach_thread(1)
+        for _ in range(100):
+            session.on_hitm(hitm())
+        assert session.records_dropped == 0
+        assert session.overflows == 0

@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.errors import InvalidMappingError
+from repro.errors import (InvalidMappingError, ShmError,
+                          ShmExhaustedError, ShmNameError,
+                          ShmSizeMismatchError)
+from repro.faults import FaultInjector
 from repro.oskit.loader import CallbackTable
 from repro.oskit.shm import SharedMemoryNamespace
 from repro.sim.physmem import PhysicalMemory
@@ -39,6 +42,43 @@ class TestShm:
         ns.shm_open("b", 4096)
         ns.shm_open("a", 4096)
         assert ns.names() == ["a", "b"]
+
+
+class TestShmErrorPaths:
+    def test_size_mismatch_error_carries_context(self, physmem):
+        ns = SharedMemoryNamespace(physmem)
+        ns.shm_open("x", 4096)
+        with pytest.raises(ShmSizeMismatchError) as excinfo:
+            ns.shm_open("x", 8192)
+        message = str(excinfo.value)
+        assert "x" in message and "4096" in message and "8192" in message
+        # back-compat: still an InvalidMappingError for old callers
+        assert isinstance(excinfo.value, InvalidMappingError)
+
+    def test_unlink_unknown_name_raises(self, physmem):
+        ns = SharedMemoryNamespace(physmem)
+        ns.shm_open("known", 4096)
+        with pytest.raises(ShmNameError) as excinfo:
+            ns.shm_unlink("ghost")
+        assert "ghost" in str(excinfo.value)
+        assert "known" in str(excinfo.value)   # names the live regions
+        assert isinstance(excinfo.value, ShmError)
+
+    def test_capacity_exhaustion_raises(self, physmem):
+        ns = SharedMemoryNamespace(physmem, capacity=2)
+        ns.shm_open("a", 4096)
+        ns.shm_open("b", 4096)
+        with pytest.raises(ShmExhaustedError, match="capacity"):
+            ns.shm_open("c", 4096)
+        # reopening an existing region still works at capacity
+        assert ns.shm_open("a", 4096) is not None
+
+    def test_injected_exhaustion_fires(self, physmem):
+        faults = FaultInjector(seed=0, rates={"shm.exhausted": 1.0})
+        ns = SharedMemoryNamespace(physmem, faults=faults)
+        with pytest.raises(ShmExhaustedError, match="injected"):
+            ns.shm_open("a", 4096)
+        assert faults.fired_counts() == {"shm.exhausted": 1}
 
 
 class TestCallbackTable:
