@@ -1,23 +1,28 @@
-"""Standing simulator-throughput microbenchmarks (PR 1).
+"""Standing simulator-throughput microbenchmarks (PR 6).
 
 Measures *simulated ops per host second* — the number the ROADMAP's
-"as fast as the hardware allows" goal is about — for the three loop
-shapes the access fast paths target, plus the wall-clock of a full
-Table 1 regeneration through the (optionally parallel) grid runner:
+"as fast as the hardware allows" goal is about — for the loop shapes
+the access fast paths and the vector batch core target, plus the
+wall-clock of a full Table 1 regeneration through the (optionally
+parallel) grid runner:
 
 - ``uncontended``: each thread hammers a private cache line; the
-  steady state is an M-state hit in the owning core, i.e. the
-  coherence micro-cache's best case;
+  steady state is an M-state hit in the owning core, which the
+  vector core advances as one numpy stretch kernel per batch;
+- ``uncontended_novector``: the same workload with ``vector=False``,
+  i.e. the pure-serial interpreter — the ratio between the two is
+  the vector core's headline speedup;
 - ``falsely_shared``: four threads store into adjacent slots of one
   line; every access takes the full directory walk and contention
-  model, so this isolates dispatch/allocation overhead;
+  model, so this isolates dispatch/allocation overhead (the vector
+  core must decline these stretches, not slow them down);
 - ``t2p_repaired``: the falsely-shared loop under ``tmi-protect``;
   after thread-to-process conversion the stores land on private
   pages and the run mixes COW machinery with micro-cache hits;
 - ``grid_table1``: ``experiments.table1`` wall-clock, serial vs.
   ``REPRO_JOBS=4``, asserting the rendered tables are identical.
 
-Running this module standalone writes ``BENCH_PR1.json`` at the repo
+Running this module standalone writes ``BENCH_PR6.json`` at the repo
 root so later PRs have a trajectory to regress against::
 
     PYTHONPATH=src python benchmarks/perf/test_throughput.py
@@ -39,13 +44,14 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
 
 from repro.engine import Engine
 from repro.engine.context import ThreadCtx
+from repro.engine.vector.executor import vector_available
 from repro.eval import experiments
 from repro.eval.systems import make_runtime
 from repro.workloads.base import Workload, spawn_join, worker_index
 
 _REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                           os.pardir, os.pardir)
-BENCH_PATH = os.path.normpath(os.path.join(_REPO_ROOT, "BENCH_PR1.json"))
+BENCH_PATH = os.path.normpath(os.path.join(_REPO_ROOT, "BENCH_PR6.json"))
 
 #: Batched-access helpers exist once the dispatch fast path has landed;
 #: the bench falls back to per-op loops so it can also time older trees.
@@ -111,25 +117,26 @@ class FalseSharingHammer(HammerWorkload):
 REPEATS = 3
 
 
-def _run_hammer(workload, system):
+def _run_hammer(workload, system, vector=None):
     program = workload.build()
     runtime = make_runtime(system)
-    engine = Engine(program, runtime)
+    engine = Engine(program, runtime, vector=vector)
     t0 = time.perf_counter()
     result = engine.run()
     wall = time.perf_counter() - t0
     return result, wall
 
 
-def _hammer_entry(workload, system, repeats=None):
-    result, wall = _run_hammer(workload, system)
+def _hammer_entry(workload, system, repeats=None, vector=None):
+    result, wall = _run_hammer(workload, system, vector=vector)
     for _ in range((repeats if repeats is not None else REPEATS) - 1):
-        again, wall_again = _run_hammer(workload, system)
+        again, wall_again = _run_hammer(workload, system, vector=vector)
         assert again.cycles == result.cycles, "nondeterministic run"
         wall = min(wall, wall_again)
     return {
         "system": system,
         "batched_api": bool(workload.batched and HAS_BATCHED),
+        "vector": vector_available() and vector is not False,
         "sim_ops": result.data_ops,
         "sim_cycles": result.cycles,
         "hitm_total": result.hitm_total,
@@ -141,6 +148,14 @@ def _hammer_entry(workload, system, repeats=None):
 def bench_uncontended(scale=None):
     return _hammer_entry(HammerWorkload(scale=scale or bench_scale()),
                          "pthreads")
+
+
+def bench_uncontended_novector(scale=None):
+    """The same private-line hammer on the pure-serial interpreter;
+    the ``uncontended``/``uncontended_novector`` ratio is the vector
+    core's speedup on its best-case shape."""
+    return _hammer_entry(HammerWorkload(scale=scale or bench_scale()),
+                         "pthreads", vector=False)
 
 
 def bench_falsely_shared(scale=None):
@@ -183,15 +198,17 @@ def bench_grid_table1(scale=0.1, jobs=4):
 
 def collect(grid_scale=0.1, jobs=4, with_grid=True):
     data = {
-        "pr": 1,
+        "pr": 6,
         "scale": bench_scale(),
         "host": {
             "python": platform.python_version(),
             "cpus": os.cpu_count(),
             "batched_api": HAS_BATCHED,
+            "vector_core": vector_available(),
         },
         "benchmarks": {
             "uncontended": bench_uncontended(),
+            "uncontended_novector": bench_uncontended_novector(),
             "falsely_shared": bench_falsely_shared(),
             "t2p_repaired": bench_t2p_repaired(),
         },
@@ -235,6 +252,15 @@ def test_uncontended_throughput():
     entry = bench_uncontended(scale=0.02)
     assert entry["sim_ops"] >= 4 * int(BASE_ITERS * 0.02)
     assert entry["ops_per_sec"] > 0
+
+
+def test_uncontended_vector_matches_serial():
+    """The vector core only changes wall time, never simulated state."""
+    on = bench_uncontended(scale=0.02)
+    off = bench_uncontended_novector(scale=0.02)
+    assert on["sim_cycles"] == off["sim_cycles"]
+    assert on["sim_ops"] == off["sim_ops"]
+    assert on["hitm_total"] == off["hitm_total"]
 
 
 def test_falsely_shared_throughput():

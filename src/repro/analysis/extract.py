@@ -122,6 +122,8 @@ class TraceExtractor:
             O.Load: self._op_load,
             O.Store: self._op_store,
             O.AccessRun: self._op_run,
+            O.RmwSeq: self._op_rmw_seq,
+            O.StoreSeq: self._op_store_seq,
             O.AtomicLoad: self._op_atomic_load,
             O.AtomicStore: self._op_atomic_store,
             O.AtomicRMW: self._op_rmw,
@@ -393,6 +395,33 @@ class TraceExtractor:
             addr += op.stride
         self._result.ops += max(0, op.count - 1)
         return values, False
+
+    def _op_rmw_seq(self, thread, op):
+        if op.volatile:
+            self._result.executed["volatile"] = True
+        deltas = op.deltas
+        const = deltas if isinstance(deltas, int) else None
+        mask = (1 << (8 * op.width)) - 1
+        memory = self._memory
+        for i, addr in enumerate(op.addrs):
+            self._record(thread.tid, op.load_site, addr, op.width,
+                         False)
+            old = memory.get(addr, 0)
+            delta = const if const is not None else deltas[i]
+            memory[addr] = (old + delta) & mask
+            self._record(thread.tid, op.store_site, addr, op.width,
+                         True)
+        self._result.ops += max(0, 2 * len(op.addrs) - 1)
+        return None, False
+
+    def _op_store_seq(self, thread, op):
+        if op.volatile:
+            self._result.executed["volatile"] = True
+        for value in op.values:
+            self._record(thread.tid, op.site, op.addr, op.width, True)
+        self._memory[op.addr] = op.values[-1]
+        self._result.ops += max(0, len(op.values) - 1)
+        return None, False
 
     def _op_atomic_load(self, thread, op):
         self._result.executed["atomics"] = True

@@ -24,6 +24,14 @@ Event ordering contracts the sanitizer relies on:
 class EngineObserver:
     """Base observer: every callback is a no-op override point."""
 
+    #: Observers that never consume per-access callbacks (``on_access``
+    #: / ``on_atomic`` are no-ops for them) may set this True; it lets
+    #: the engine keep the vector batch executor active while they are
+    #: attached.  Anything that inspects individual accesses (the race
+    #: sanitizer, an access-event tracer) must leave it False so every
+    #: access takes the serial, callback-emitting path.
+    vector_safe = False
+
     def on_attach(self, engine):
         """Observer was attached; ``engine`` is fully constructed."""
 
@@ -114,6 +122,18 @@ class EngineObserver:
         ``interval``, ``from``, ``to``, and ``reason`` (see
         :mod:`repro.core.ladder`)."""
 
+    # ------------------------------------------------------------------
+    # vector batch execution (perf observability)
+    # ------------------------------------------------------------------
+    def on_vector_switch(self, tid, ts, mode, ops):
+        """The vector executor switched execution modes at simulated
+        time ``ts``: ``mode`` is ``"batch"`` (``ops`` accesses advanced
+        by the stretch kernel), ``"lockstep"`` (``ops`` accesses per
+        thread extrapolated by the lockstep kernel), or ``"fallback"``
+        (``ops`` accesses of a vector-active run that ran serially).
+        Purely observational — emitted only when batching actually ran,
+        and never charged any cycles."""
+
 
 class ObserverMux(EngineObserver):
     """Fans every observer callback out to an ordered list of children.
@@ -133,6 +153,12 @@ class ObserverMux(EngineObserver):
         """Append one child observer."""
         self.observers.append(observer)
 
+    @property
+    def vector_safe(self):
+        """The mux is vector-safe only if every child is."""
+        return all(getattr(observer, "vector_safe", False)
+                   for observer in self.observers)
+
 
 def _fanout(name):
     def method(self, *args):
@@ -147,6 +173,7 @@ for _name in ("on_attach", "on_access", "on_atomic", "on_fence",
               "on_acquire", "on_release", "on_barrier", "on_hb_edge",
               "on_thread_create", "on_thread_exit", "on_ptsb_commit",
               "on_ptsb_flush", "on_t2p", "on_hitm", "on_pebs_records",
-              "on_detect_interval", "on_fault", "on_degradation"):
+              "on_detect_interval", "on_fault", "on_degradation",
+              "on_vector_switch"):
     setattr(ObserverMux, _name, _fanout(_name))
 del _name

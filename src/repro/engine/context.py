@@ -87,6 +87,39 @@ class ThreadCtx:
         yield O.AccessRun(site, addr, count, stride, width, True,
                           value, volatile)
 
+    def rmw_seq(self, addrs, width, deltas, compute, load_site=None,
+                store_site=None, volatile=False):
+        """Load/add/store/compute over each address in ``addrs``.
+
+        Cycle-for-cycle identical to the loop ``v = load(a); store(a,
+        v + d); compute(c)`` over the same addresses — use it for
+        accumulator loops whose address and delta streams are
+        precomputable.  ``deltas`` is an int applied to every element
+        or a sequence matched to ``addrs``.
+        """
+        if not addrs:
+            return
+        load_site = load_site or self._auto_site("load", width)
+        store_site = store_site or self._auto_site("store", width)
+        if not isinstance(deltas, int) and len(deltas) != len(addrs):
+            raise ValueError("deltas must be an int or match addrs")
+        yield O.RmwSeq(load_site, store_site, tuple(addrs), width,
+                       deltas if isinstance(deltas, int)
+                       else tuple(deltas), compute, volatile)
+
+    def store_seq(self, addr, values, width, compute, site=None,
+                  volatile=False):
+        """Store each of ``values`` at ``addr``, ``compute`` after each.
+
+        Cycle-for-cycle identical to the loop ``store(addr, v);
+        compute(c)`` over the same values.
+        """
+        if not values:
+            return
+        site = site or self._auto_site("store", width)
+        yield O.StoreSeq(site, addr, tuple(values), width, compute,
+                         volatile)
+
     def compute(self, cycles):
         """Pure computation for ``cycles`` (no memory traffic)."""
         yield O.Compute(cycles)

@@ -20,6 +20,7 @@ original heap-driven fast path, untouched.
 """
 
 import heapq
+import os
 
 from repro.engine import layout
 from repro.engine.context import ThreadCtx
@@ -29,6 +30,7 @@ from repro.engine.thread import (BLOCKED, DONE, PARKED, READY, SimProcess,
                                  SimThread)
 from repro.errors import CycleBudgetError, DeadlockError, SimulationError
 from repro.isa import ops as O
+from repro.isa.lowering import validate_run
 from repro.sync.objects import Barrier, Condvar, Mutex
 
 
@@ -42,7 +44,8 @@ class Engine:
     """Executes one program under one runtime on one machine."""
 
     def __init__(self, program, runtime, machine=None, n_cores=None,
-                 costs=None, max_cycles=200_000_000_000, policy=None):
+                 costs=None, max_cycles=200_000_000_000, policy=None,
+                 vector=None):
         from repro.sim.machine import Machine
         if n_cores is None:
             n_cores = program.nthreads + 2
@@ -80,6 +83,14 @@ class Engine:
         #: Analysis observer (repro.analysis); None keeps every
         #: emission guard a single attribute test on the hot path.
         self._observer = None
+        #: Vector batch executor (repro.engine.vector); constructed in
+        #: :meth:`run` once eligibility is known.  ``vector=False`` (or
+        #: the REPRO_NO_VECTOR environment variable) forces the serial
+        #: path; the default enables it whenever exactness-safe.
+        if vector is None:
+            vector = not os.environ.get("REPRO_NO_VECTOR")
+        self._vector_enabled = bool(vector)
+        self._vector = None
 
         # generic lock/barrier instruction sites (glibc text)
         self._lock_site = program.binary.site("atomic", 4, "pthread_lock")
@@ -107,6 +118,8 @@ class Engine:
             O.Load: self._exec_load,
             O.Store: self._exec_store,
             O.AccessRun: self._exec_run_op,
+            O.RmwSeq: self._exec_seq_op,
+            O.StoreSeq: self._exec_seq_op,
             O.AtomicLoad: self._exec_access,
             O.AtomicStore: self._exec_access,
             O.AtomicRMW: self._exec_access,
@@ -165,6 +178,7 @@ class Engine:
 
     def run(self):
         """Execute the program to completion; returns a RunResult."""
+        self._build_vector()
         main = self._create_thread(self.program.main, "main",
                                    self.root_process)
         self.runtime.on_thread_created(self, main)
@@ -181,6 +195,30 @@ class Engine:
             raise DeadlockError(unfinished)
         return self.finish()
 
+    def _build_vector(self):
+        """Construct the vector executor when the run is eligible.
+
+        Eligibility is the fallback-boundary contract from
+        :mod:`repro.engine.vector`: no schedule policy, no runtime
+        access hooks (override/translate/extra-cost — TMI, SHERIFF and
+        LASER runtimes all intercept accesses), no fault injector, and
+        no observer unless it declares itself ``vector_safe`` (its
+        per-access callbacks are no-ops).  Ineligible runs keep
+        ``_vector`` at None — the serial path, byte-identical anyway.
+        """
+        if not self._vector_enabled or self.policy is not None:
+            return
+        if self._rt_override or self._rt_translate or self._rt_extra:
+            return
+        if getattr(self.runtime, "faults", None) is not None:
+            return
+        if self._observer is not None and not getattr(
+                self._observer, "vector_safe", False):
+            return
+        from repro.engine.vector import VectorExecutor, vector_available
+        if vector_available():
+            self._vector = VectorExecutor(self)
+
     def _run_heap_loop(self):
         """The original heap-driven scheduling loop (fast path)."""
         while self._heap:
@@ -192,6 +230,10 @@ class Engine:
                 self._park(thread, ready_time)
                 continue
             self._dispatch(thread, ready_time)
+            vector = self._vector
+            if vector is not None and vector.hint:
+                vector.hint = False
+                vector.try_lockstep()
             if self._next_tick is not None:
                 self._run_ticks()
             if self.machine.now > self.max_cycles:
@@ -372,11 +414,15 @@ class Engine:
         thread.pending_penalty = 0
         self.machine.core_clock[thread.core] = clock
         if thread.run_op is not None:
-            # resume an in-flight AccessRun without re-entering the
-            # generator
+            # resume an in-flight AccessRun/RmwSeq/StoreSeq without
+            # re-entering the generator
             if self._policy_notify:
-                self.policy.notify_op(thread.tid, "AccessRun")
-            self._run_accesses(thread)
+                self.policy.notify_op(thread.tid,
+                                      thread.run_op.__class__.__name__)
+            if thread.run_op.__class__ is O.AccessRun:
+                self._run_accesses(thread)
+            else:
+                self._run_seq(thread)
             return
         try:
             op = thread.gen.send(thread.pending_value)
@@ -640,6 +686,10 @@ class Engine:
         the thread (``run_op``/``run_index``/``run_values``), so resuming
         does not touch the workload generator.
         """
+        # reject malformed shapes before a single access executes, so
+        # the serial and vector paths fail with the same typed error at
+        # the same simulated cycle
+        validate_run(op)
         thread.run_op = op
         thread.run_index = 0
         thread.run_values = None if op.is_write else []
@@ -704,7 +754,47 @@ class Engine:
                 break
             heapq.heappop(heap)
         head_ready = heap[0][0] if heap else None
+        vector = self._vector
+        comp = None
+        batched = 0
+        fast_cost = -1
+        if vector is not None and single_cls is None:
+            # identity memo: the same run object is re-dispatched many
+            # times, so hash the op dataclass once per run, not once
+            # per dispatch
+            if op is thread.vec_op:
+                comp = thread.vec_comp
+            else:
+                comp = vector.lookup(op)
+                thread.vec_op = op
+                thread.vec_comp = comp
+                thread.vec_hot = True
+            if comp is not None:
+                fast_cost = (self.costs.store_hit if is_write
+                             else self.costs.load_hit)
+        # a run that last broke on a contended (miss-priced) access
+        # stays cold: skip the kernel attempt until a hit-priced access
+        # shows the line is back in the owner micro-cache
+        try_vector = comp is not None and thread.vec_hot
         while True:
+            if try_vector:
+                # batch kernel: advances every access the serial loop
+                # below would have executed fast-path without breaking;
+                # falls through so the blocking access runs serially
+                try_vector = False
+                advanced = vector.advance(
+                    thread, comp, index, addr, clock, others_max,
+                    head_ready, next_tick, max_cycles)
+                if advanced is not None:
+                    k, clock, brk = advanced
+                    index += k
+                    addr += stride * k
+                    batched += k
+                    if index >= count or brk:
+                        # batch breaks are scheduler bounds, not
+                        # contention — stay hot for the next dispatch
+                        try_vector = True
+                        break
             if single_cls is not None:
                 if is_write:
                     single = O.Store(op.site, addr, value, width,
@@ -759,6 +849,10 @@ class Engine:
             clock += cost
             core_clock[core] = clock
             thread.cycles += cost
+            if cost <= fast_cost:
+                # a hit-priced access means the line is (re)installed in
+                # the owner micro-cache: worth re-trying the batch kernel
+                try_vector = True
             if index >= count:
                 break
             # --- would the serial engine have switched away here? ---
@@ -778,6 +872,11 @@ class Engine:
             if head_ready is not None and head_ready <= clock:
                 break
         thread.run_index = index
+        if comp is not None:
+            thread.vec_hot = try_vector
+            if index - start_index > batched:
+                vector.note_fallback(tid, clock,
+                                     index - start_index - batched)
         if single_cls is None:
             # _exec_load/_exec_store count for the synthesized-singles
             # path; the inline path counts the whole batch here
@@ -789,6 +888,137 @@ class Engine:
             thread.run_op = None
             thread.run_values = None
             thread.pending_value = None if is_write else values
+        self._schedule(thread, clock)
+
+    def _exec_seq_op(self, thread, op):
+        """Begin an :class:`~repro.isa.ops.RmwSeq` or
+        :class:`~repro.isa.ops.StoreSeq`.
+
+        Like :meth:`_exec_run_op`, the sequence executes element-by-
+        element (each load/store through the full single-access path —
+        observer callbacks, runtime hooks, coherence — and each compute
+        step as pure clock advance), yielding the core at exactly the
+        points the unbatched multi-yield loop would.  The continuation
+        lives on the thread; ``run_index`` counts *sub-ops* (each
+        element is its load/store/compute steps in order), so a break
+        can land between an element's load and its store.
+        """
+        thread.run_op = op
+        thread.run_index = 0
+        thread.run_values = None
+        self._run_seq(thread)
+        return 0, None, True
+
+    def _run_seq(self, thread):
+        op = thread.run_op
+        machine = self.machine
+        core = thread.core
+        core_clock = machine.core_clock
+        heap = self._heap
+        threads = self.threads
+        is_rmw = op.__class__ is O.RmwSeq
+        compute = op.compute
+        width = op.width
+        volatile = op.volatile
+        if is_rmw:
+            addrs = op.addrs
+            deltas = op.deltas
+            const_delta = deltas if isinstance(deltas, int) else None
+            count = len(addrs)
+            nphases = 3 if compute else 2
+            mask = (1 << (8 * width)) - 1
+            load_site = op.load_site
+            store_site = op.store_site
+        else:
+            seq_values = op.values
+            seq_addr = op.addr
+            count = len(seq_values)
+            nphases = 2 if compute else 1
+            site = op.site
+        total = count * nphases
+        max_cycles = self.max_cycles
+        next_tick = self._next_tick
+        exec_load = self._exec_load
+        exec_store = self._exec_store
+        vector = self._vector
+        load_hit = self.costs.load_hit
+        store_hit = self.costs.store_hit
+        # whether the latest access was hit-priced: a head-ready break
+        # after a fast hit is the round-robin steady state the seq
+        # lockstep kernel extrapolates, so it is worth hinting
+        fastish = False
+        # same dispatch-loop constants as _run_accesses: other cores'
+        # clocks and the earliest other ready time cannot change while
+        # this continuation runs
+        others_max = 0
+        for c in range(len(core_clock)):
+            if c != core and core_clock[c] > others_max:
+                others_max = core_clock[c]
+        index = thread.run_index
+        while heap:
+            ready_time, seq, next_tid = heap[0]
+            waiter = threads[next_tid]
+            if waiter.state == READY and waiter.seq == seq:
+                break
+            heapq.heappop(heap)
+        head_ready = heap[0][0] if heap else None
+        clock = core_clock[core]
+        while True:
+            element, phase = divmod(index, nphases)
+            if is_rmw:
+                if phase == 0:
+                    single = O.Load(load_site, addrs[element], width,
+                                    volatile)
+                    cost, loaded, _b = exec_load(thread, single)
+                    thread.run_values = loaded
+                    fastish = cost <= load_hit
+                elif phase == 1:
+                    delta = (const_delta if const_delta is not None
+                             else deltas[element])
+                    single = O.Store(
+                        store_site, addrs[element],
+                        (thread.run_values + delta) & mask, width,
+                        volatile)
+                    cost, _v, _b = exec_store(thread, single)
+                    thread.run_values = None
+                    fastish = cost <= store_hit
+                else:
+                    cost = compute
+            elif phase == 0:
+                single = O.Store(site, seq_addr, seq_values[element],
+                                 width, volatile)
+                cost, _v, _b = exec_store(thread, single)
+                fastish = cost <= store_hit
+            else:
+                cost = compute
+            # handlers may advance the core clock internally (e.g. a
+            # store-buffer drain), so add the returned cost on top of
+            # the live clock exactly as _dispatch's machine.advance does
+            core_clock[core] += cost
+            clock = core_clock[core]
+            thread.cycles += cost
+            index += 1
+            if index >= total:
+                break
+            # --- would the serial engine have switched away here? ---
+            if self.policy is not None:
+                break
+            if self._stop_world:
+                break
+            now = clock if clock > others_max else others_max
+            if next_tick is not None and now >= next_tick:
+                break
+            if now > max_cycles:
+                break
+            if head_ready is not None and head_ready <= clock:
+                if fastish and vector is not None:
+                    vector.hint = True
+                break
+        thread.run_index = index
+        if index >= total:
+            thread.run_op = None
+            thread.run_values = None
+            thread.pending_value = None
         self._schedule(thread, clock)
 
     def _exec_bulk(self, thread, op):
@@ -1033,6 +1263,19 @@ class Engine:
             registry.gauge("memory.bytes", category=category).set(nbytes)
         registry.gauge("alloc.bytes").set(
             self.allocator.allocated_bytes)
+        vector = self._vector
+        if vector is not None:
+            registry.counter("vector.batched_ops").inc(
+                vector.batched_ops)
+            registry.counter("vector.fallback_ops").inc(
+                vector.fallback_ops)
+            registry.counter("vector.batches").inc(vector.batches)
+            registry.counter("vector.lockstep_batches").inc(
+                vector.lockstep_batches)
+            registry.counter("vector.compile_hits").inc(
+                vector.compiler.hits)
+            registry.counter("vector.compile_misses").inc(
+                vector.compiler.misses)
         self.runtime.fill_metrics(self, registry)
         return registry
 

@@ -56,6 +56,16 @@ class SimThread:
         self.run_op = None              # the AccessRun being executed
         self.run_index = 0              # next access within the run
         self.run_values = None          # loads accumulated so far
+        # vector-executor per-thread memo (engine-owned, perf only):
+        # the compiled form of run_op cached by identity (one ``is``
+        # check instead of hashing the op dataclass every dispatch) and
+        # whether the last dispatch of this run ended on a hit-priced
+        # access (a cold flag skips the batch-kernel attempt entirely on
+        # contended lines — it cannot change simulated results, only
+        # when the always-exact kernel is consulted)
+        self.vec_op = None
+        self.vec_comp = None
+        self.vec_hot = True
         # statistics
         self.ops = 0
         self.loads = 0

@@ -79,6 +79,10 @@ def build_parser():
     run.add_argument("--profile", action="store_true",
                      help="attribute host wall time to simulator "
                           "subsystems (simulated cycles unchanged)")
+    run.add_argument("--no-vector", action="store_true",
+                     help="force the pure-serial interpreter (the "
+                          "vector core is on by default when eligible; "
+                          "results are bit-identical either way)")
 
     trace = sub.add_parser(
         "trace", help="run one cell with the tracer attached and "
@@ -196,7 +200,8 @@ def main(argv=None):
         outcome = run_workload(args.workload, args.system,
                                scale=args.scale,
                                sanitize=args.sanitize,
-                               profile=args.profile)
+                               profile=args.profile,
+                               vector=False if args.no_vector else None)
         print(f"{args.workload} under {args.system}: {outcome.status}")
         if outcome.result is not None:
             result = outcome.result

@@ -68,7 +68,8 @@ class RunOutcome:
 def run_workload(name, system, scale=1.0, config=None, variant=None,
                  nthreads=None, sanitize=False, schedule=None,
                  max_cycles=None, collect_state=False, trace=False,
-                 collect_metrics=False, profile=False, faults=None):
+                 collect_metrics=False, profile=False, faults=None,
+                 vector=None):
     """Run one workload under one system; never raises for the failure
     modes the paper studies.
 
@@ -100,6 +101,11 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
     :class:`~repro.faults.FaultPlan`).  The injection record lands on
     the outcome's ``faults`` field; the same spec replays the identical
     failure sequence regardless of ``REPRO_JOBS``.
+
+    ``vector`` forwards to :class:`~repro.engine.Engine`: ``False``
+    forces the pure-serial interpreter, ``True`` requires the vector
+    core, ``None`` (default) auto-enables it when eligible.  Results
+    are bit-identical either way — the flag only changes host speed.
     """
     profiler = None
     if profile:
@@ -126,6 +132,8 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
     engine_kwargs = {}
     if max_cycles is not None:
         engine_kwargs["max_cycles"] = max_cycles
+    if vector is not None:
+        engine_kwargs["vector"] = vector
     try:
         with phase("engine-init"):
             engine = Engine(program, runtime, policy=policy,

@@ -1,0 +1,145 @@
+"""Lowering of batched ISA ops into flat typed columns.
+
+The vector execution core (:mod:`repro.engine.vector`) does not
+interpret op objects one slot at a time.  Instead, each batched op is
+lowered *once* into numpy columns — kind / addr / width / value — plus
+the static structure the executor's kernels need (page runs, line runs,
+and the indices of accesses that straddle a line or translation
+granule).  The lowering is purely shape-level: it never touches
+simulated state, so a lowered op can be cached and reused across every
+run of the same workload.
+
+Lowering is conservative.  ``lower_access_run`` returns ``None`` for
+any shape the vector kernels do not handle (negative strides,
+overlapping strided stores, non-power-of-two widths, oversized runs);
+the engine then simply keeps the op on the serial path.  Malformed ops
+that the Program layer would never emit raise
+:class:`~repro.errors.InvalidProgramError`, matching where the slow
+path fails.
+"""
+
+from repro.errors import InvalidProgramError
+from repro.isa.ops import AccessRun
+
+try:
+    import numpy as _np
+except ImportError:                                   # pragma: no cover
+    _np = None
+
+#: Kind codes for the typed ``kind`` column.
+KIND_LOAD = 0
+KIND_STORE = 1
+
+#: Access widths the vector kernels (and the physmem int codecs) handle.
+VECTOR_WIDTHS = frozenset((1, 2, 4, 8))
+
+#: Upper bound on lowered run length; larger runs stay serial rather
+#: than materializing unbounded index columns.
+MAX_LOWERED_COUNT = 1 << 22
+
+_LINE_MASK = 63
+_GRANULE_MASK = 0xFFF
+
+
+def numpy_available():
+    """Whether numpy imported; without it every op stays serial."""
+    return _np is not None
+
+
+class LoweredRun:
+    """One :class:`~repro.isa.ops.AccessRun` as flat typed columns.
+
+    ``addrs`` is the full virtual-address column; ``kind``, ``width``
+    and ``value`` are scalar columns (constant over a run).  ``bad``
+    holds the sorted indices of accesses that straddle a cache line or
+    a 4 KB translation granule — the executor never batches across
+    them.  ``page_starts``/``page_ids`` and ``line_starts``/``line_ids``
+    are run-length encodings of the (monotone) page and relative line
+    columns, so eligibility walks touch one dict probe per distinct
+    page/line instead of one per access.
+    """
+
+    __slots__ = ("kind", "addrs", "width", "value", "count", "stride",
+                 "is_write", "cost_kind", "bad", "page_starts",
+                 "page_ids", "line_starts", "line_ids")
+
+    def __init__(self, kind, addrs, width, value, count, stride,
+                 is_write, bad, page_starts, page_ids, line_starts,
+                 line_ids):
+        self.kind = kind
+        self.addrs = addrs
+        self.width = width
+        self.value = value
+        self.count = count
+        self.stride = stride
+        self.is_write = is_write
+        self.bad = bad
+        self.page_starts = page_starts
+        self.page_ids = page_ids
+        self.line_starts = line_starts
+        self.line_ids = line_ids
+
+
+def validate_run(op):
+    """Reject op shapes the Program layer must never emit.
+
+    Raises :class:`InvalidProgramError` exactly where the serial
+    interpreter would fail (a non-positive count or width produces a
+    malformed op stream before a single cycle is simulated).
+    """
+    if op.count <= 0:
+        raise InvalidProgramError(
+            f"AccessRun with non-positive count {op.count}")
+    if op.width <= 0:
+        raise InvalidProgramError(
+            f"AccessRun with non-positive width {op.width}")
+
+
+def _run_length(values):
+    """(starts, ids) run-length encoding of a monotone int column."""
+    if len(values) == 0:
+        return (_np.zeros(0, dtype=_np.int64),
+                _np.zeros(0, dtype=_np.int64))
+    change = _np.flatnonzero(_np.diff(values)) + 1
+    starts = _np.concatenate((
+        _np.zeros(1, dtype=_np.int64), change.astype(_np.int64),
+        _np.asarray([len(values)], dtype=_np.int64)))
+    return starts, values[starts[:-1]]
+
+
+def lower_access_run(op):
+    """Lower one ``AccessRun`` to a :class:`LoweredRun`, or ``None``.
+
+    Returns ``None`` for shapes the vector kernels decline (the op then
+    executes serially, which is always correct): non-``AccessRun`` run
+    ops (``RmwSeq``/``StoreSeq`` take the executor's lockstep replay
+    kernel instead of lowering), negative
+    strides, widths outside :data:`VECTOR_WIDTHS`, strided stores that
+    overlap (``0 < stride < width``, where the byte-level outcome
+    depends on per-access ordering), and runs past
+    :data:`MAX_LOWERED_COUNT`.
+    """
+    if op.__class__ is not AccessRun:
+        return None
+    validate_run(op)
+    if _np is None:
+        return None
+    if op.stride < 0 or op.count > MAX_LOWERED_COUNT:
+        return None
+    if op.width not in VECTOR_WIDTHS:
+        return None
+    if 0 < op.stride < op.width:
+        return None
+    addrs = (op.addr
+             + _np.arange(op.count, dtype=_np.int64) * op.stride)
+    straddle = (((addrs & _LINE_MASK) + op.width > 64)
+                | ((addrs & _GRANULE_MASK) + op.width > 4096))
+    bad = _np.flatnonzero(straddle).astype(_np.int64)
+    page_starts, page_ids = _run_length(addrs >> 12)
+    line_starts, line_ids = _run_length(addrs >> 6)
+    return LoweredRun(
+        kind=KIND_STORE if op.is_write else KIND_LOAD,
+        addrs=addrs, width=op.width, value=op.value, count=op.count,
+        stride=op.stride, is_write=op.is_write, bad=bad,
+        page_starts=page_starts, page_ids=page_ids,
+        line_starts=line_starts, line_ids=line_ids)

@@ -114,6 +114,51 @@ class AccessRun:
 
 
 @dataclass(frozen=True, slots=True)
+class RmwSeq:
+    """A sequence of plain load/store/compute read-modify-write steps.
+
+    Element ``i`` is exactly the three-op loop body ``value =
+    load(addrs[i]); store(addrs[i], value + deltas[i]); compute(compute)``
+    — the idiom of every per-thread accumulator loop in the suite — with
+    the stored value wrapping modulo ``2**(8*width)``.  The engine
+    executes the elements access-by-access (translating, charging
+    coherence, firing HITM listeners and observer callbacks per access,
+    and yielding the core at exactly the points the three-yield loop
+    would), so a sequence is cycle-for-cycle identical to its unbatched
+    form while costing one generator round-trip instead of
+    ``3 * len(addrs)``.  ``deltas`` may be a single int applied to every
+    element.  A zero ``compute`` omits the compute step entirely.
+    """
+
+    load_site: InstrSite
+    store_site: InstrSite
+    addrs: tuple
+    width: int
+    deltas: tuple
+    compute: int
+    volatile: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class StoreSeq:
+    """A sequence of plain store/compute steps to one address.
+
+    Element ``i`` is exactly ``store(addr, values[i]); compute(compute)``
+    — the "publish then hash" idiom — executed access-by-access with the
+    same per-access interception and scheduling points as the two-yield
+    loop, for one generator round-trip.  A zero ``compute`` omits the
+    compute step.
+    """
+
+    site: InstrSite
+    addr: int
+    values: tuple
+    width: int
+    compute: int
+    volatile: bool = False
+
+
+@dataclass(frozen=True, slots=True)
 class Fence:
     site: InstrSite
 

@@ -39,6 +39,10 @@ class Tracer(EngineObserver):
 
     def __init__(self, access_events=False):
         self.access_events = access_events
+        # without per-access events every access callback is a no-op,
+        # so the vector batch executor may stay active under tracing;
+        # access-level tracing needs the serial callback-emitting path
+        self.vector_safe = not access_events
         self.events = []
         self.meta = {}
         self._engine = None
@@ -203,6 +207,15 @@ class Tracer(EngineObserver):
                    interval=info.get("interval"),
                    level_from=info.get("from"), level_to=info.get("to"),
                    reason=info.get("reason"))
+
+    def on_vector_switch(self, tid, ts, mode, ops):
+        """Record a vector<->slow-path execution switch.
+
+        Rendered on the per-thread tracks, so a Perfetto view shows
+        exactly where batching ran (``vector_batch`` /
+        ``vector_lockstep``) and where it broke (``vector_fallback``).
+        """
+        self._emit(f"vector_{mode}", ts, tid=tid, ops=ops)
 
     # ------------------------------------------------------------------
     # results

@@ -62,19 +62,25 @@ class Histogram(Workload):
                 # my neighbours' blocks (stride is not line-aligned)
                 top_bin = (stride // 4) - 4
                 chunk = image + wi * (1 * MB)
-                for i in range(pixels):
-                    if i % 512 == 0:
-                        yield from w.bulk_touch(chunk, 64 * 512,
-                                                site=ld_px)
-                    h = (i * 2654435761 + wi * 97) & 0xFFFFFFFF
-                    if (h % 1000) < bias * 1000:
-                        bin_index = (h % 4) if h & 8 else top_bin + (h % 4)
-                    else:
-                        bin_index = h % _BINS
-                    addr = base + bin_index * 4
-                    value = yield from w.load(addr, 4, site=ld_c)
-                    yield from w.store(addr, value + 1, 4, site=st_c)
-                    yield from w.compute(40)
+                # the bin stream is a pure function of (i, wi):
+                # precompute each 512-pixel chunk's addresses and issue
+                # the load/increment/compute bodies as one RmwSeq —
+                # cycle-for-cycle identical to the per-pixel yields
+                for start in range(0, pixels, 512):
+                    yield from w.bulk_touch(chunk, 64 * 512,
+                                            site=ld_px)
+                    addrs = []
+                    for i in range(start, min(start + 512, pixels)):
+                        h = (i * 2654435761 + wi * 97) & 0xFFFFFFFF
+                        if (h % 1000) < bias * 1000:
+                            bin_index = ((h % 4) if h & 8
+                                         else top_bin + (h % 4))
+                        else:
+                            bin_index = h % _BINS
+                        addrs.append(base + bin_index * 4)
+                    yield from w.rmw_seq(addrs, 4, 1, 40,
+                                         load_site=ld_c,
+                                         store_site=st_c)
 
             yield from spawn_join(t, nworkers, worker)
             total = 0
@@ -141,16 +147,19 @@ class LinearRegression(Workload):
             def worker(w):
                 wi = worker_index(w)
                 base = args + wi * stride
-                for i in range(points):
-                    if i % 1024 == 0:
-                        yield from w.bulk_touch(
-                            data + wi * MB, 64 * 1024, site=ld_pt)
-                    x = (i * 7 + wi) & 0xFFFF
-                    field = (i % 5) * 8
-                    value = yield from w.load(base + field, 8, site=ld)
-                    yield from w.store(base + field, value + x, 8,
-                                       site=st)
-                    yield from w.compute(12)
+                # field rotation and increments are pure functions of
+                # (i, wi): batch each 1024-point chunk's accumulator
+                # bodies as one RmwSeq (cycle-identical to the yields)
+                for start in range(0, points, 1024):
+                    yield from w.bulk_touch(
+                        data + wi * MB, 64 * 1024, site=ld_pt)
+                    addrs = []
+                    deltas = []
+                    for i in range(start, min(start + 1024, points)):
+                        addrs.append(base + (i % 5) * 8)
+                        deltas.append((i * 7 + wi) & 0xFFFF)
+                    yield from w.rmw_seq(addrs, 8, deltas, 12,
+                                         load_site=ld, store_site=st)
 
             yield from spawn_join(t, nworkers, worker)
             values = yield from t.load_run(args, nworkers, stride, 8,
@@ -206,15 +215,24 @@ class StringMatch(Workload):
                 wi = worker_index(w)
                 my_word = words + wi * stride
                 my_final = finals + wi * stride
-                for i in range(keys):
-                    if i % 512 == 0:
-                        yield from w.bulk_touch(
-                            corpus + wi * MB, 64 * 256, site=ld_k)
-                    h = (i * 40503 + wi) & 0xFFFF
-                    yield from w.store(my_word, h, 8, site=st_w)
-                    yield from w.compute(90)          # hash the key
-                    if h % 16 == 0:
-                        yield from w.store(my_final, h, 8, site=st_f)
+                # key hashes are a pure function of (i, wi): batch the
+                # store/hash bodies between final-word publishes as
+                # StoreSeq segments (cycle-identical to the yields)
+                for start in range(0, keys, 512):
+                    yield from w.bulk_touch(
+                        corpus + wi * MB, 64 * 256, site=ld_k)
+                    segment = []
+                    for i in range(start, min(start + 512, keys)):
+                        h = (i * 40503 + wi) & 0xFFFF
+                        segment.append(h)
+                        if h % 16 == 0:
+                            yield from w.store_seq(my_word, segment, 8,
+                                                   90, site=st_w)
+                            yield from w.store(my_final, h, 8,
+                                               site=st_f)
+                            segment = []
+                    yield from w.store_seq(my_word, segment, 8, 90,
+                                           site=st_w)
 
             yield from spawn_join(t, nworkers, worker)
 

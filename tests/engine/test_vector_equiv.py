@@ -1,0 +1,140 @@
+"""Differential pin: vector-on and vector-off runs are byte-identical.
+
+The vector core is a host-speed optimization with a hard exactness
+contract: simulated cycles, HITM counts, final-state digests, metrics
+snapshots, and typed failures (``CycleBudgetError``,
+``InvalidProgramError``) must not move by a single cycle.  These tests
+run representative repair-suite cells and targeted failure shapes both
+ways and compare everything observable.
+"""
+
+import pytest
+
+from helpers import make_program
+from repro.baselines.pthreads import PthreadsRuntime
+from repro.engine import Engine
+from repro.errors import CycleBudgetError, InvalidProgramError
+from repro.eval.runner import run_workload
+from repro.isa import Binary
+from repro.isa import ops as O
+
+#: Representative repair-suite cells: seq-heavy kernels (histogram,
+#: lreg), AccessRun-heavy (stringmatch), repaired layouts where long
+#: uncontended windows form (manual), a translate-hook system where
+#: the engine gate must fall back wholesale (tmi-protect), and a
+#: sync-heavy cell (spinlockpool).
+CELLS = [
+    ("histogramfs", "pthreads"),
+    ("histogram", "manual"),
+    ("lreg", "manual"),
+    ("stringmatch", "pthreads"),
+    ("leveldb-fs", "tmi-protect"),
+    ("spinlockpool", "pthreads"),
+]
+
+
+def observable(outcome):
+    result = outcome.result
+    metrics = {key: value
+               for key, value in outcome.metrics["counters"].items()
+               if not key.startswith("vector.")}
+    return {
+        "status": outcome.status,
+        "cycles": result.cycles if result else None,
+        "hitm": ((result.hitm_loads, result.hitm_stores)
+                 if result else None),
+        "data_ops": result.data_ops if result else None,
+        "sync_ops": result.sync_ops if result else None,
+        "final_state": outcome.final_state,
+        "counters": metrics,
+        "gauges": outcome.metrics["gauges"],
+    }
+
+
+@pytest.mark.parametrize("name,system", CELLS)
+def test_repair_cell_identical_both_ways(name, system):
+    on = run_workload(name, system, scale=0.05, collect_state=True,
+                      collect_metrics=True, vector=True)
+    off = run_workload(name, system, scale=0.05, collect_state=True,
+                       collect_metrics=True, vector=False)
+    assert observable(on) == observable(off)
+
+
+# ----------------------------------------------------------------------
+# typed-error parity
+# ----------------------------------------------------------------------
+def _budget_program(shape):
+    """Two workers hammering private lines through the batched ops the
+    vector kernels accelerate; long enough that a small budget runs
+    out mid-batch."""
+    binary = Binary("budget")
+    st = binary.store_site("st", 8)
+    ld = binary.load_site("ld", 8)
+
+    def main(t):
+        block = yield from t.malloc(4096, align=64)
+
+        def worker(w):
+            base = block + (w.tid - 1) * 1024
+            for _ in range(40):
+                if shape == "run":
+                    yield from w.store_run(base, 7, count=512,
+                                           stride=0, width=8, site=st)
+                else:
+                    addrs = tuple(base + (i % 64) * 8
+                                  for i in range(256))
+                    yield from w.rmw_seq(addrs, 8, 1, 5, load_site=ld,
+                                         store_site=st)
+
+        tids = []
+        for i in range(2):
+            tid = yield from t.spawn(worker, f"w{i}")
+            tids.append(tid)
+        for tid in tids:
+            yield from t.join(tid)
+
+    return make_program(main, "budget", nthreads=2, binary=binary)
+
+
+@pytest.mark.parametrize("shape", ["run", "seq"])
+def test_budget_exhaustion_mid_batch_same_cycle(shape):
+    """CycleBudgetError must fire at the identical simulated cycle
+    whether the budget ran out inside a vector batch or on the serial
+    path (regression: a kernel overrunning ``max_cycles`` would
+    report a later exhaustion point)."""
+    outcomes = {}
+    for vector in (True, False):
+        engine = Engine(_budget_program(shape), PthreadsRuntime(),
+                        vector=vector, max_cycles=40_000)
+        with pytest.raises(CycleBudgetError) as excinfo:
+            engine.run()
+        outcomes[vector] = (excinfo.value.args[:2],
+                            engine.machine.now,
+                            list(engine.machine.core_clock))
+    assert outcomes[True] == outcomes[False]
+
+
+@pytest.mark.parametrize("field", ["count", "width"])
+def test_malformed_run_same_typed_error(field):
+    """A malformed AccessRun raises InvalidProgramError before a
+    single access executes, with or without the vector core."""
+    binary = Binary("malformed")
+    site = binary.store_site("st", 8)
+    bad = O.AccessRun(site, 0x1000, count=0, stride=8, width=8,
+                      is_write=True, value=1) if field == "count" \
+        else O.AccessRun(site, 0x1000, count=4, stride=8, width=0,
+                         is_write=True, value=1)
+
+    def main(t):
+        yield from t.compute(10)
+        yield bad
+
+    cycles = {}
+    for vector in (True, False):
+        engine = Engine(make_program(main, "malformed", nthreads=1,
+                                     binary=binary),
+                        PthreadsRuntime(), vector=vector)
+        with pytest.raises(InvalidProgramError):
+            engine.run()
+        cycles[vector] = engine.machine.now
+    assert cycles[True] == cycles[False]

@@ -81,7 +81,7 @@ _WORD = 0xFFFFFFFFFFFFFFFF
 
 
 def random_program(seed, nthreads=3, nlocks=2, nlines=4,
-                   ops_per_thread=40, env=None):
+                   ops_per_thread=40, env=None, batched=False):
     """Seeded random lock-disciplined program (threads x locks x
     shared cache lines).
 
@@ -91,6 +91,13 @@ def random_program(seed, nthreads=3, nlocks=2, nlines=4,
     legal interleaving produces the same final memory.  That makes the
     family a schedule-fuzzing oracle — ``env["finals"]`` must equal
     ``env["expected"]`` under every policy and seed.
+
+    ``batched=True`` additionally interleaves private batched
+    stretches (``load_run``/``store_run``/``rmw_seq``/``store_seq``
+    over a per-thread block) between the locked shared updates — the
+    shapes the vector executor accelerates — without touching the
+    shared-line oracle.  The default stays byte-identical to the
+    original generator (the rng consumes the same stream).
 
     Returns the Program; ``env`` (or the passed-in dict) carries
     ``buf``, ``finals`` and the statically computed ``expected``.
@@ -106,24 +113,46 @@ def random_program(seed, nthreads=3, nlocks=2, nlines=4,
     for _ in range(nthreads):
         steps = []
         for _ in range(ops_per_thread):
+            if batched and rng.random() < 0.4:
+                kind = rng.choice(("load_run", "store_run",
+                                   "rmw_seq", "store_seq"))
+                count = rng.randrange(4, 48)
+                off = rng.randrange(0, 8) * 8
+                compute = rng.choice((0, 0, 3, 17))
+                operand = rng.randrange(1, 1 << 20)
+                steps.append(("batch", kind, count, off, compute,
+                              operand))
+                continue
             line = rng.randrange(nlines)
             operand = rng.randrange(1, 1 << 30)
             delay = rng.choice((0, 0, 60, 200))
-            steps.append((line, operand, delay))
+            steps.append(("shared", line, operand, delay))
         plans.append(steps)
 
     expected = [0] * nlines
     for steps in plans:
-        for line, operand, _ in steps:
+        for step in steps:
+            if step[0] != "shared":
+                continue
+            _, line, operand, _delay = step
             if line_kind[line] == "add":
                 expected[line] = (expected[line] + operand) & _WORD
             else:
                 expected[line] ^= operand
     env["expected"] = expected
 
+    #: Per-thread private block: 8 lines, disjoint across threads.
+    PRIV = 512
+
     def main(t):
         buf = yield from t.malloc(64 * nlines + 64, align=64)
         env["buf"] = buf
+        priv = 0
+        if batched:
+            # only allocated when requested, so batched=False programs
+            # stay byte-identical to the pre-batched generator
+            priv = yield from t.malloc(PRIV * nthreads, align=64)
+            env["priv"] = priv
         locks = []
         for i in range(nlocks):
             lock = yield from t.mutex(f"l{i}")
@@ -131,7 +160,32 @@ def random_program(seed, nthreads=3, nlocks=2, nlines=4,
 
         def worker(w):
             steps = plans[w.tid - 1]
-            for line, operand, delay in steps:
+            base = priv + (w.tid - 1) * PRIV
+            for step in steps:
+                if step[0] == "batch":
+                    _, kind, count, off, compute, operand = step
+                    addr = base + off
+                    if kind == "load_run":
+                        yield from w.load_run(addr, count, 8, width=8,
+                                              site=ld)
+                    elif kind == "store_run":
+                        yield from w.store_run(addr, operand, count, 8,
+                                               width=8, site=st)
+                    elif kind == "rmw_seq":
+                        addrs = tuple(base + (i % 48) * 8
+                                      for i in range(count))
+                        yield from w.rmw_seq(addrs, 8, operand,
+                                             compute, load_site=ld,
+                                             store_site=st)
+                    else:
+                        values = tuple((operand + i) & _WORD
+                                       for i in range(count))
+                        yield from w.store_seq(addr, values, 8,
+                                               compute, site=st)
+                    if compute:
+                        yield from w.compute(compute)
+                    continue
+                _, line, operand, delay = step
                 addr = buf + line * 64
                 yield from w.lock(locks[line % nlocks])
                 value = yield from w.load(addr, 8, site=ld)
