@@ -67,6 +67,25 @@ class _TraceThread:
         self.joiners = []
 
 
+@dataclass(frozen=True)
+class AllocationRecord:
+    """One ``Malloc`` observed during extraction.
+
+    ``ordinal`` is the global malloc sequence number; for the
+    deterministic pre-spawn prologue it identifies the same allocation
+    across allocators that place it at *different* addresses (pthreads'
+    16-offset large blocks vs TMI's line-aligned ones), which is what
+    lets a repair plan follow an object into every system variant.
+    """
+
+    ordinal: int
+    tid: int
+    base: int
+    size: int
+    align: int
+    prespawn: bool
+
+
 @dataclass
 class ExtractResult:
     """Everything the linter learns from one abstract execution."""
@@ -80,6 +99,22 @@ class ExtractResult:
     line_sites: dict = field(default_factory=dict)
     #: Feature classes actually executed: atomics/asm/volatile/fence.
     executed: dict = field(default_factory=dict)
+    #: Every Malloc in program order (:class:`AllocationRecord`).
+    allocations: list = field(default_factory=list)
+    #: ``(addr, size)`` byte spans owned by registered sync objects.
+    sync_ranges: list = field(default_factory=list)
+    #: line_va -> set of ``(tid, addr, width, is_write)`` access
+    #: intervals, recorded for *every* phase (the repair rewriter must
+    #: remap prologue/epilogue accesses too, so atom boundaries have to
+    #: respect them).
+    intervals: dict = field(default_factory=dict)
+    #: ``(addr, nbytes)`` spans streamed through BulkTouch (analytic
+    #: accesses carry no values, so the repair planner must not
+    #: relocate bytes they cover).
+    bulk_ranges: set = field(default_factory=set)
+    #: Heap-region bytes consumed before the first ThreadCreate — the
+    #: deterministic prefix a repair plan may rely on.
+    prespawn_used: int = 0
     ops: int = 0
     threads: int = 0
     truncated: bool = False
@@ -111,6 +146,7 @@ class TraceExtractor:
         self._condvar_ids = 0
         self._alive = 0
         self._memory = {}
+        self._spawned = False
         self._result = ExtractResult(
             executed={"atomics": False, "asm": False,
                       "volatile": False, "fence": False})
@@ -118,7 +154,7 @@ class TraceExtractor:
 
         self._op_table = {
             O.Compute: self._op_nop,
-            O.BulkTouch: self._op_nop,
+            O.BulkTouch: self._op_bulk,
             O.Load: self._op_load,
             O.Store: self._op_store,
             O.AccessRun: self._op_run,
@@ -192,6 +228,7 @@ class TraceExtractor:
                         f"op budget ({self.max_ops}) exhausted; "
                         f"findings may be incomplete"))
                     result.threads = len(self.threads)
+                    self._finish_result()
                     return result
             if self._alive == 0:
                 break
@@ -199,7 +236,15 @@ class TraceExtractor:
                 self._report_deadlock()
                 break
         result.threads = len(self.threads)
+        self._finish_result()
         return result
+
+    def _finish_result(self):
+        result = self._result
+        result.sync_ranges = sorted(
+            (obj.addr, obj.SIZE) for obj in self.sync_objects)
+        if not self._spawned:
+            result.prespawn_used = self.allocator.region.used
 
     def _spawn(self, body, name):
         tid = self._next_tid
@@ -292,20 +337,24 @@ class TraceExtractor:
     # ------------------------------------------------------------------
     def _record(self, tid, site, addr, width, is_write, atomic=False):
         self._check_access(site, addr, width, is_write, atomic)
-        if self._alive < 2:
-            return
+        parallel = self._alive >= 2
         lines = self._result.lines
         line_sites = self._result.line_sites
+        intervals = self._result.intervals
         end = addr + width
         while addr < end:
             line = addr & _LINE_MASK
             take = min(end, line + LINE_SIZE) - addr
-            mask = ((1 << take) - 1) << (addr - line)
-            record = lines.setdefault(line, {}).setdefault(tid, [0, 0])
-            record[1 if is_write else 0] |= mask
-            sites = line_sites.setdefault(line, set())
-            if len(sites) < 8:
-                sites.add(site.label or f"{site.pc:#x}")
+            intervals.setdefault(line, set()).add(
+                (tid, addr, take, is_write))
+            if parallel:
+                mask = ((1 << take) - 1) << (addr - line)
+                record = lines.setdefault(line, {}).setdefault(
+                    tid, [0, 0])
+                record[1 if is_write else 0] |= mask
+                sites = line_sites.setdefault(line, set())
+                if len(sites) < 8:
+                    sites.add(site.label or f"{site.pc:#x}")
             addr += take
 
     def _check_access(self, site, addr, width, is_write, atomic):
@@ -367,6 +416,10 @@ class TraceExtractor:
     # op handlers: (value_to_send, blocked)
     # ------------------------------------------------------------------
     def _op_nop(self, thread, op):
+        return None, False
+
+    def _op_bulk(self, thread, op):
+        self._result.bulk_ranges.add((op.addr, op.nbytes))
         return None, False
 
     def _op_load(self, thread, op):
@@ -483,6 +536,10 @@ class TraceExtractor:
         except AllocationError as exc:
             self._finding(Finding("allocation", ERROR, str(exc)))
             return 0, False
+        allocations = self._result.allocations
+        allocations.append(AllocationRecord(
+            ordinal=len(allocations), tid=thread.tid, base=addr,
+            size=op.size, align=op.align, prespawn=not self._spawned))
         return addr, False
 
     def _op_free(self, thread, op):
@@ -584,6 +641,9 @@ class TraceExtractor:
         return None, False
 
     def _op_create(self, thread, op):
+        if not self._spawned:
+            self._spawned = True
+            self._result.prespawn_used = self.allocator.region.used
         child = self._spawn(op.body, op.name)
         return child.tid, False
 

@@ -41,6 +41,27 @@ class Finding:
             where += f" line={self.line_va:#x}"
         return f"[{self.severity}] {self.rule}{where}: {self.message}"
 
+    def to_dict(self):
+        """JSON-stable dict form (detail values coerced to built-ins)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "pc": self.pc,
+            "label": self.label,
+            "line_va": self.line_va,
+            "detail": {key: (list(value) if isinstance(value, (tuple,
+                                                               set))
+                             else value)
+                       for key, value in sorted(self.detail.items())},
+        }
+
+
+def meets_severity(findings, threshold):
+    """Whether any finding is at or above ``threshold`` severity."""
+    rank = _RANK[threshold]
+    return any(_RANK[f.severity] >= rank for f in findings)
+
 
 def max_severity(findings):
     """Highest severity present, or None for an empty list."""

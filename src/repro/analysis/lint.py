@@ -29,6 +29,9 @@ from repro.analysis.layout_check import (classify_lines,
                                          false_sharing_lines,
                                          true_sharing_lines)
 
+#: Format tag on :meth:`LintReport.to_dict` documents.
+LINT_FORMAT = "repro-lint-report/1"
+
 
 @dataclass
 class LintReport:
@@ -60,6 +63,36 @@ class LintReport:
                 f"{len(self.predicted_true)} true-sharing line(s), "
                 f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s)")
         return format_findings(self.findings, title=head)
+
+    def to_dict(self):
+        """``repro-lint-report/1``: stable machine-readable form.
+
+        Findings keep lint_program's order (structural first, then
+        sharing, then feature cross-checks); every collection is a
+        plain list so ``json.dumps(..., sort_keys=True)`` emits a
+        byte-stable document for the same trace.
+        """
+        def _line(line):
+            return {
+                "line_va": line.line_va,
+                "sharing": line.sharing,
+                "tids": list(line.tids),
+                "writer_tids": list(line.writer_tids),
+                "sites": list(line.sites),
+            }
+
+        return {
+            "format": LINT_FORMAT,
+            "workload": self.workload,
+            "ops": self.ops,
+            "threads": self.threads,
+            "truncated": self.truncated,
+            "ok": self.ok,
+            "counts": count_by_severity(self.findings),
+            "findings": [f.to_dict() for f in self.findings],
+            "predicted_false": [_line(s) for s in self.predicted_false],
+            "predicted_true": [_line(s) for s in self.predicted_true],
+        }
 
 
 def lint_program(program, max_ops=DEFAULT_MAX_OPS):

@@ -1,0 +1,386 @@
+"""Static repair planning: lint findings to layout transformations.
+
+The planner closes the detect->repair loop without a single simulated
+cycle: it consumes the per-line byte masks and access intervals the
+:class:`~repro.analysis.extract.TraceExtractor` records, and for every
+falsely-shared line synthesizes a concrete layout transformation --
+padding between falsely-shared objects, alignment of straddling objects
+to line boundaries, reordering that co-locates same-thread bytes, or
+per-thread splitting of array-of-counters patterns.
+
+All four transformations share one mechanism: *relocation*.  The line's
+bytes are partitioned into **atoms** -- maximal byte ranges such that
+every recorded access (any phase) falls wholly inside one atom -- and
+each written atom with a single parallel-phase toucher moves into that
+thread's region of a line-aligned repair arena.  Per-thread regions are
+separated by construction, so moved atoms can never falsely share a
+line again; read-only atoms stay put (a line with no writer left has no
+coherence traffic to misclassify).  The per-line transformation label
+records the layout *intent* the relocation realizes.
+
+Plans are allocation-ordinal-relative, not address-relative: a span is
+``(malloc ordinal, byte offset, length)``.  The pthreads and TMI
+allocators place the same allocation at different addresses (16-offset
+vs line-aligned large blocks), so the rewriter binds spans to the
+addresses it actually observes at run time -- the same plan applies
+unchanged under ``static-repaired`` and ``static-tmi``.
+
+A line the plan cannot repair is recorded as predicted *residual* with
+a reason: sync-object hot words (spinlockpool's embedded lock pool --
+the paper's boost case needs a source fix), bytes outside the
+deterministic pre-spawn heap prefix, bulk-touched spans, misaligned
+accesses, or atoms fused across threads by a serial-phase access.
+Residual predictions are scored against simulated HITM ground truth by
+the ``repair-compare`` experiment.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analysis.extract import (DEFAULT_MAX_OPS, ExtractResult,
+                                    TraceExtractor)
+from repro.analysis.layout_check import classify_lines, false_sharing_lines
+from repro.analysis.repair.cost import score_plan
+from repro.engine.program import Program
+from repro.sim.costs import LINE_SIZE
+
+_LINE_MASK = ~(LINE_SIZE - 1)
+
+#: Transformation labels a plan may assign to a repaired line.
+PAD = "pad"
+ALIGN = "align"
+REORDER = "reorder"
+SPLIT = "split"
+
+#: Placeholder transformation for residual (unrepaired) lines.
+NONE = "none"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A maximal byte range no recorded access partially overlaps."""
+
+    line_va: int
+    start: int                 # absolute VA in extraction geometry
+    length: int
+    readers: tuple             # parallel-phase reader tids
+    writers: tuple             # parallel-phase writer tids
+
+    @property
+    def touchers(self) -> tuple:
+        """Distinct parallel-phase tids touching the atom."""
+        return tuple(sorted(set(self.readers) | set(self.writers)))
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """One atom's move, expressed allocation-relative.
+
+    ``ordinal`` names the pre-spawn ``Malloc`` the atom lives in;
+    ``offset``/``length`` the byte span within that allocation; ``dest``
+    the arena-relative destination offset.  ``dest`` is chosen congruent
+    to the source address modulo the line size, so every aligned access
+    keeps its alignment and no relocation introduces a line straddle.
+    """
+
+    ordinal: int
+    offset: int
+    length: int
+    owner: int
+    dest: int
+    line_va: int
+
+
+@dataclass(frozen=True)
+class LineRepair:
+    """The plan's verdict for one falsely-shared line."""
+
+    line_va: int
+    transformation: str        # pad | align | reorder | split | none
+    fixed: bool                # predicted: no parallel writer remains
+    reason: str                # why residual (empty when fixed)
+    atoms_moved: int
+    bytes_moved: int
+
+
+@dataclass
+class RepairPlan:
+    """A full static repair plan for one Program."""
+
+    workload: str
+    variant: str
+    nthreads: int
+    relocations: list = field(default_factory=list)
+    lines: list = field(default_factory=list)
+    arena_bytes: int = 0
+    cost: dict = field(default_factory=dict)
+
+    @property
+    def predicted_fixed(self) -> list:
+        """Line VAs the plan claims static repair eliminates."""
+        return [line.line_va for line in self.lines if line.fixed]
+
+    @property
+    def predicted_residual(self) -> list:
+        """Line VAs the plan predicts will keep falsely sharing."""
+        return [line.line_va for line in self.lines if not line.fixed]
+
+    @property
+    def moved_bytes(self) -> int:
+        """Total bytes the plan relocates into the arena."""
+        return sum(r.length for r in self.relocations)
+
+
+class _ArenaPacker:
+    """Greedy per-owner line packing that preserves line offsets.
+
+    Each atom lands at its source offset within some destination line of
+    its owner's region (first line with those bytes free), so the
+    destination address is congruent to the source modulo ``LINE_SIZE``.
+    """
+
+    def __init__(self) -> None:
+        self._lines: dict = {}     # owner -> [occupancy bitmask]
+
+    def place(self, owner: int, line_offset: int, length: int) -> int:
+        """Reserve ``length`` bytes at ``line_offset``; returns the
+        owner-relative destination offset."""
+        mask = ((1 << length) - 1) << line_offset
+        lines = self._lines.setdefault(owner, [])
+        for index, used in enumerate(lines):
+            if not used & mask:
+                lines[index] = used | mask
+                return index * LINE_SIZE + line_offset
+        lines.append(mask)
+        return (len(lines) - 1) * LINE_SIZE + line_offset
+
+    def region_sizes(self) -> dict:
+        """owner -> line-aligned region size, owners sorted."""
+        return {owner: len(lines) * LINE_SIZE
+                for owner, lines in sorted(self._lines.items())}
+
+
+def plan_program(program: Program,
+                 extracted: Optional[ExtractResult] = None,
+                 max_ops: int = DEFAULT_MAX_OPS,
+                 variant: str = "default") -> RepairPlan:
+    """Plan static repairs for one built Program.
+
+    ``extracted`` reuses an existing extraction; when omitted the
+    program is traced here (consuming its generators -- build a fresh
+    Program for the actual run).
+    """
+    if extracted is None:
+        extracted = TraceExtractor(program, max_ops=max_ops).run()
+    shared = classify_lines(extracted.lines, extracted.line_sites)
+    false_lines = false_sharing_lines(shared)
+
+    prespawn = sorted(
+        (a.base, a.base + a.size, a.ordinal)
+        for a in extracted.allocations if a.prespawn)
+    alloc_bases = [a[0] for a in prespawn]
+    sync_spans = [(addr, addr + size)
+                  for addr, size in extracted.sync_ranges]
+    bulk_spans = _merge_spans(getattr(extracted, "bulk_ranges", ()))
+
+    packer = _ArenaPacker()
+    pending = []                  # (line, moves) before dest finalize
+    line_repairs = []
+    for shared_line in false_lines:
+        line_va = shared_line.line_va
+        atoms = _build_atoms(line_va, extracted)
+        reason = _line_obstacle(line_va, atoms, prespawn, alloc_bases,
+                                sync_spans, bulk_spans, extracted)
+        if reason:
+            line_repairs.append(LineRepair(
+                line_va=line_va, transformation=NONE, fixed=False,
+                reason=reason, atoms_moved=0, bytes_moved=0))
+            continue
+        moves = [a for a in atoms if a.writers]
+        pending.append((line_va, moves))
+
+    # place atoms owner-by-owner so same-owner atoms from different
+    # source lines co-locate (the reordering transformation)
+    placements = {}               # atom -> owner-relative offset
+    for line_va, moves in pending:
+        for atom in moves:
+            owner = atom.touchers[0]
+            placements[atom] = packer.place(
+                owner, atom.start % LINE_SIZE, atom.length)
+
+    region_sizes = packer.region_sizes()
+    region_offsets = {}
+    offset = 0
+    for owner, size in region_sizes.items():
+        region_offsets[owner] = offset
+        offset += size
+    arena_bytes = offset
+
+    relocations = []
+    moved_by_line = {line_va: moves for line_va, moves in pending}
+    for line_va, moves in pending:
+        for atom in moves:
+            owner = atom.touchers[0]
+            ordinal, alloc_base = _owning_alloc(
+                atom.start, prespawn, alloc_bases)
+            relocations.append(Relocation(
+                ordinal=ordinal,
+                offset=atom.start - alloc_base,
+                length=atom.length,
+                owner=owner,
+                dest=region_offsets[owner] + placements[atom],
+                line_va=line_va))
+        line_repairs.append(LineRepair(
+            line_va=line_va,
+            transformation=_classify_transformation(
+                line_va, moves, moved_by_line),
+            fixed=True, reason="",
+            atoms_moved=len(moves),
+            bytes_moved=sum(a.length for a in moves)))
+
+    line_repairs.sort(key=lambda line: line.line_va)
+    relocations.sort(key=lambda r: (r.ordinal, r.offset))
+    plan = RepairPlan(
+        workload=program.name, variant=variant,
+        nthreads=program.nthreads,
+        relocations=relocations, lines=line_repairs,
+        arena_bytes=arena_bytes)
+    plan.cost = score_plan(plan, program)
+    return plan
+
+
+def plan_workload(name: str, scale: Optional[float] = None,
+                  nthreads: Optional[int] = None,
+                  variant: Optional[str] = None,
+                  max_ops: int = DEFAULT_MAX_OPS) -> RepairPlan:
+    """Plan repairs for a registry workload by name."""
+    from repro.workloads import registry
+
+    kwargs = {}
+    if scale is not None:
+        kwargs["scale"] = scale
+    if nthreads is not None:
+        kwargs["nthreads"] = nthreads
+    workload = registry.get(name, **kwargs)
+    built_variant = variant if variant is not None else "default"
+    program = workload.build(built_variant)
+    return plan_program(program, max_ops=max_ops, variant=built_variant)
+
+
+# ----------------------------------------------------------------------
+# atom construction
+# ----------------------------------------------------------------------
+def _build_atoms(line_va: int, extracted: ExtractResult) -> list:
+    """Partition a line's touched bytes into atoms.
+
+    Overlapping access intervals (from *every* phase, so prologue
+    initialization fuses what it jointly touches) merge into one atom;
+    merely adjacent intervals stay separate -- two 4-byte counters
+    packed back to back are independently relocatable.
+    """
+    intervals = sorted(
+        (addr, addr + width)
+        for _tid, addr, width, _w in extracted.intervals.get(line_va, ()))
+    ranges = []
+    for start, end in intervals:
+        if ranges and start < ranges[-1][1]:
+            ranges[-1][1] = max(ranges[-1][1], end)
+        else:
+            ranges.append([start, end])
+
+    by_tid = extracted.lines.get(line_va, {})
+    atoms = []
+    for start, end in ranges:
+        span_mask = ((1 << (end - start)) - 1) << (start - line_va)
+        readers, writers = [], []
+        for tid, (read_mask, write_mask) in by_tid.items():
+            if read_mask & span_mask:
+                readers.append(tid)
+            if write_mask & span_mask:
+                writers.append(tid)
+        atoms.append(Atom(
+            line_va=line_va, start=start, length=end - start,
+            readers=tuple(sorted(readers)),
+            writers=tuple(sorted(writers))))
+    return atoms
+
+
+def _line_obstacle(line_va: int, atoms: list, prespawn: list,
+                   alloc_bases: list, sync_spans: list,
+                   bulk_spans: list,
+                   extracted: ExtractResult) -> str:
+    """Why this line cannot be statically repaired ('' if it can).
+
+    Repair is all-or-nothing per line: moving only some written atoms
+    would leave the line shared and make residual prediction mushy.
+    """
+    line_end = line_va + LINE_SIZE
+    for span_start, span_end in sync_spans:
+        if span_start < line_end and line_va < span_end:
+            return ("sync object on the line: lock/barrier hot words "
+                    "cannot be relocated (source fix required)")
+    for span_start, span_end in bulk_spans:
+        if span_start < line_end and line_va < span_end:
+            return "bulk-touched span overlaps the line"
+    for _tid, addr, width, _w in extracted.intervals.get(line_va, ()):
+        if width in (2, 4, 8) and addr % width:
+            return f"misaligned {width}-byte access at {addr:#x}"
+    for atom in atoms:
+        if not atom.writers:
+            continue
+        if len(atom.touchers) > 1:
+            return ("written atom touched by threads "
+                    f"{list(atom.touchers)}: accesses fused by a "
+                    "cross-thread span")
+        ordinal, _base = _owning_alloc(atom.start, prespawn, alloc_bases)
+        if ordinal is None:
+            return (f"bytes at {atom.start:#x} outside the "
+                    "deterministic pre-spawn heap prefix")
+        end_ordinal, _ = _owning_alloc(
+            atom.start + atom.length - 1, prespawn, alloc_bases)
+        if end_ordinal != ordinal:
+            return "atom straddles an allocation boundary"
+    return ""
+
+
+def _owning_alloc(addr: int, prespawn: list,
+                  alloc_bases: list) -> tuple:
+    """(ordinal, base) of the pre-spawn allocation containing addr."""
+    index = bisect_right(alloc_bases, addr) - 1
+    if index < 0:
+        return None, None
+    base, end, ordinal = prespawn[index]
+    if addr >= end:
+        return None, None
+    return ordinal, base
+
+
+def _classify_transformation(line_va: int, moves: list,
+                             moved_by_line: dict) -> str:
+    """Label the layout intent this line's relocations realize."""
+    owners = {atom.touchers[0] for atom in moves}
+    lengths = {atom.length for atom in moves}
+    if len(owners) >= 3 and len(lengths) == 1:
+        return SPLIT
+    for neighbor in (line_va - LINE_SIZE, line_va + LINE_SIZE):
+        neighbor_moves = moved_by_line.get(neighbor, ())
+        if owners & {atom.touchers[0] for atom in neighbor_moves}:
+            return ALIGN
+    if len(owners) == 2:
+        return PAD
+    return REORDER
+
+
+def _merge_spans(ranges: Iterable) -> list:
+    """Merge (addr, nbytes) ranges into sorted disjoint (start, end)."""
+    spans = sorted((addr, addr + nbytes) for addr, nbytes in ranges)
+    merged = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged

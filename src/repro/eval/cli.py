@@ -11,6 +11,10 @@ Regenerate any paper artifact without pytest::
     python -m repro.eval.cli metrics histogramfs tmi-protect
     python -m repro.eval.cli lint histogramfs
     python -m repro.eval.cli lint all --scale 0.05
+    python -m repro.eval.cli lint all --format json --fail-on warning
+    python -m repro.eval.cli repair histogram
+    python -m repro.eval.cli repair all --scale 0.05
+    python -m repro.eval.cli repair-compare --scale 0.1
     python -m repro.eval.cli fuzz --seeds 16 --budget 60
     python -m repro.eval.cli fuzz racy-flag --policy pct --seeds 32
     python -m repro.eval.cli chaos --seeds 16
@@ -44,6 +48,7 @@ EXPERIMENTS = {
     "ablation-huge-commit": experiments.ablation_huge_commit,
     "ablation-code-centric": experiments.ablation_code_centric,
     "lint-accuracy": experiments.lint_accuracy,
+    "repair-compare": experiments.repair_compare,
 }
 
 #: Experiments whose signature takes no scale.
@@ -118,6 +123,29 @@ def build_parser():
     lint.add_argument("--variant", default=None,
                       help="force a build variant (default/fixed); "
                            "defaults to each workload's canonical build")
+    lint.add_argument("--format", dest="fmt", default="text",
+                      choices=("text", "json"),
+                      help="json = one stable sorted-key document "
+                           "(schema repro-lint-report/1) for tooling")
+    lint.add_argument("--fail-on", default=None,
+                      choices=("info", "warning", "error"),
+                      help="exit nonzero when any finding is at or "
+                           "above this severity (default: errors only)")
+
+    repair = sub.add_parser(
+        "repair", help="plan static layout repair for workload(s) and "
+                       "save repro-repair-plan/1 artifacts; no "
+                       "simulation beyond trace extraction")
+    repair.add_argument("workload",
+                        choices=sorted(all_names()) + ["all"],
+                        help="workload to plan, or 'all' for the "
+                             "repair suite")
+    repair.add_argument("--scale", type=float, default=0.1)
+    repair.add_argument("--variant", default="default",
+                        help="build variant to plan against")
+    repair.add_argument("--out-dir", default=None,
+                        help="artifact directory (default "
+                             "results/repair)")
 
     fuzz = sub.add_parser(
         "fuzz", help="fuzz schedules; no workload = bounded CI smoke "
@@ -182,19 +210,56 @@ def main(argv=None):
 
     if args.command == "lint":
         from repro.analysis import lint_workload
+        from repro.analysis.findings import meets_severity
         names = (sorted(all_names()) if args.workload == "all"
                  else [args.workload])
-        failed = 0
+        reports = [lint_workload(name, scale=args.scale,
+                                 variant=args.variant)
+                   for name in names]
+        if args.fmt == "json":
+            import json
+            docs = [report.to_dict() for report in reports]
+            payload = docs[0] if len(docs) == 1 else {
+                "format": docs[0]["format"], "reports": docs}
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for report in reports:
+                print(report.format())
+            if len(reports) > 1:
+                failed = sum(1 for report in reports if not report.ok)
+                print(f"linted {len(reports)} workloads, "
+                      f"{failed} with errors")
+        if args.fail_on is not None:
+            gate = any(meets_severity(report.findings, args.fail_on)
+                       for report in reports)
+        else:
+            gate = any(not report.ok for report in reports)
+        return 1 if gate else 0
+
+    if args.command == "repair":
+        from repro.analysis.repair import plan_workload, save_plan
+        from repro.workloads import repair_suite_names
+        names = (sorted(repair_suite_names())
+                 if args.workload == "all" else [args.workload])
         for name in names:
-            report = lint_workload(name, scale=args.scale,
-                                   variant=args.variant)
-            print(report.format())
-            if not report.ok:
-                failed += 1
-        if len(names) > 1:
-            print(f"linted {len(names)} workloads, "
-                  f"{failed} with errors")
-        return 1 if failed else 0
+            plan = plan_workload(name, scale=args.scale,
+                                 variant=args.variant)
+            fixed = len(plan.predicted_fixed)
+            residual = len(plan.predicted_residual)
+            print(f"repair {name}: {fixed + residual} false line(s), "
+                  f"{fixed} fixed, {residual} residual; "
+                  f"{len(plan.relocations)} relocation(s), "
+                  f"arena {plan.arena_bytes} B, "
+                  f"score {plan.cost.get('score', 0):.3f}")
+            for line in plan.lines:
+                verdict = (line.transformation if line.fixed
+                           else f"residual: {line.reason}")
+                print(f"  line {line.line_va:#x}: {verdict}")
+            path = (save_plan(plan) if args.out_dir is None
+                    else save_plan(plan, os.path.join(
+                        args.out_dir, f"{plan.workload}-plan.json")))
+            print(f"  [saved {path}]")
+        return 0
 
     if args.command == "run":
         outcome = run_workload(args.workload, args.system,

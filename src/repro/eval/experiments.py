@@ -502,3 +502,118 @@ def lint_accuracy(scale=0.1, workloads=None):
         title="Lint accuracy: static false-sharing prediction vs "
               "simulated HITM ground truth")
     return ExperimentResult("lint_accuracy", data, text)
+
+
+# ----------------------------------------------------------------------
+# Repair-compare: static repair planner vs TMI's dynamic isolation
+# ----------------------------------------------------------------------
+def repair_compare(scale=0.1, workloads=None):
+    """pthreads vs tmi-protect vs static-repaired vs static+tmi.
+
+    The static axis the paper positions TMI against: the repair planner
+    (see :mod:`repro.analysis.repair`) rewrites each workload's layout
+    from lint findings alone, and the grid compares its runtime and
+    HITM counts with TMI's dynamic isolation.  A second table validates
+    the planner's predictions against simulated HITM ground truth:
+    fraction of falsely-shared-line HITM events eliminated, the
+    precision/recall of its predicted-fixed claims, and the
+    semantic-preservation gate (rewritten final state bit-identical to
+    the original under pthreads).  Every plan is saved as a
+    ``repro-repair-plan/1`` artifact under ``results/repair/``.
+    """
+    from repro.analysis.ground_truth import score_repair
+    from repro.analysis.repair import plan_from_dict, save_plan
+    from repro.eval.report import results_dir
+    from repro.workloads import get as get_workload
+
+    names = list(workloads) if workloads else repair_suite_names()
+    systems = ["pthreads", "tmi-protect", "static-repaired",
+               "static-tmi"]
+    grid = run_matrix(names, systems, scale=scale)
+
+    runtime_rows = []
+    validate_rows = []
+    data = {"workloads": {}, "scale": scale, "systems": systems}
+    per_system = {s: [] for s in systems[1:]}
+    agg_base = agg_resid = 0
+    total_tp = total_fp = total_fn = 0
+    states_ok = True
+    plan_paths = []
+    for name in names:
+        base = grid[name]["pthreads"]
+        assert base.ok, f"baseline failed on {name}: {base.detail}"
+        entry = {}
+        row = [name, base.result.hitm_total]
+        for system in systems[1:]:
+            outcome = grid[name][system]
+            norm = _norm(outcome, base.result.cycles)
+            hitm = (outcome.result.hitm_total if outcome.result
+                    else None)
+            entry[system] = {"norm": norm, "hitm": hitm,
+                             "status": outcome.status}
+            row.append(_cell(norm, outcome.status))
+            row.append(_cell(hitm, outcome.status))
+            if norm is not None:
+                per_system[system].append(norm)
+        runtime_rows.append(row)
+
+        plan_dict = grid[name]["static-repaired"].plan
+        if plan_dict is not None:
+            plan_paths.append(str(save_plan(plan_from_dict(plan_dict))))
+
+        score = score_repair(get_workload(name, scale=scale))
+        entry["score"] = score
+        agg_base += score["baseline_false_events"]
+        agg_resid += score["repaired_false_events"]
+        total_tp += score["tp"]
+        total_fp += score["fp"]
+        total_fn += score["fn"]
+        states_ok = states_ok and score["state_identical"]
+        validate_rows.append((
+            name, score["baseline_false_lines"],
+            score["predicted_fixed"], score["predicted_residual"],
+            score["baseline_false_events"],
+            score["repaired_false_events"],
+            round(score["eliminated_fraction"] * 100, 1),
+            score["precision"], score["recall"],
+            "yes" if score["state_identical"] else "NO"))
+        data["workloads"][name] = entry
+
+    summary = ["geomean", ""]
+    for system in systems[1:]:
+        summary.append(geomean(per_system[system]))
+        summary.append("")
+    runtime_rows.append(summary)
+    overall_elim = 1.0 - agg_resid / agg_base if agg_base else 1.0
+    overall_p = (total_tp / (total_tp + total_fp)
+                 if total_tp + total_fp else 1.0)
+    overall_r = (total_tp / (total_tp + total_fn)
+                 if total_tp + total_fn else 1.0)
+    validate_rows.append((
+        "OVERALL", "", "", "", agg_base, agg_resid,
+        round(overall_elim * 100, 1), round(overall_p, 4),
+        round(overall_r, 4), "yes" if states_ok else "NO"))
+    data["geomean"] = {s: geomean(per_system[s]) for s in systems[1:]}
+    data["eliminated_fraction"] = overall_elim
+    data["precision"] = overall_p
+    data["recall"] = overall_r
+    data["state_identical_all"] = states_ok
+    data["plan_artifacts"] = plan_paths
+
+    text = format_table(
+        ["workload", "pthreads hitm",
+         "tmi-protect", "hitm", "static-repaired", "hitm",
+         "static-tmi", "hitm"],
+        runtime_rows,
+        title=("Repair-compare: runtime normalized to pthreads "
+               "(lower is better) and total HITM events"))
+    text += "\n\n" + format_table(
+        ["workload", "false lines", "pred fixed", "pred resid",
+         "base ev", "resid ev", "elim %", "precision", "recall",
+         "state ok"],
+        validate_rows,
+        title=("Planner validation vs simulated HITM ground truth "
+               "(falsely-shared-line events, pthreads geometry)"))
+    import os
+    notes = [f"plans under {os.path.join(results_dir(), 'repair')}"]
+    return ExperimentResult("repair_compare", data, text, notes)

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from repro.engine import Engine
 from repro.errors import (CycleBudgetError, DeadlockError, HangError,
                           IncompatibleWorkloadError)
-from repro.eval.systems import make_runtime, workload_variant
+from repro.eval.systems import (STATIC_REPAIR_SYSTEMS, make_runtime,
+                                workload_variant)
 from repro.workloads import get as get_workload
 
 OK = "ok"
@@ -53,6 +54,9 @@ class RunOutcome:
     #: Fault-injection record ({"spec", "counts", "log"}) when the run
     #: executed under an armed fault plan (``faults=``); None otherwise.
     faults: object = None
+    #: ``repro-repair-plan/1`` dict when the run executed a statically
+    #: rewritten program (``static-repaired`` / ``static-tmi``).
+    plan: object = None
 
     @property
     def ok(self):
@@ -117,7 +121,19 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
 
     with phase("build"):
         workload = get_workload(name, scale=scale, nthreads=nthreads)
-        program = workload.build(variant or workload_variant(system))
+        build_variant = variant or workload_variant(system)
+        program = workload.build(build_variant)
+    repair_plan = None
+    if system in STATIC_REPAIR_SYSTEMS:
+        from repro.analysis.repair import (plan_program, plan_to_dict,
+                                           rewrite_program)
+        with phase("repair-plan"):
+            # extraction consumes generators: plan from a throwaway
+            # build, then rewrite the Program destined for the engine
+            repair_plan = plan_program(
+                workload.build(build_variant), variant=build_variant)
+            program, _rewriter = rewrite_program(program, repair_plan)
+        repair_plan = plan_to_dict(repair_plan)
     runtime = make_runtime(system, config)
     injector = None
     if faults is not None:
@@ -157,9 +173,13 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
     def outcome(status, result=None, detail=""):
         out = RunOutcome(name, system, status, result=result,
                          detail=detail, analysis=report,
-                         trace=engine.schedule_trace())
+                         trace=engine.schedule_trace(),
+                         plan=repair_plan)
         if collect_state and status == OK:
-            out.final_state = workload.final_state(program.env, engine)
+            view_fn = getattr(program, "memory_view", None)
+            state_engine = view_fn(engine) if view_fn else engine
+            out.final_state = workload.final_state(program.env,
+                                                   state_engine)
         if tracer is not None:
             out.trace_data = tracer.trace_data()
         if collect_metrics:

@@ -16,9 +16,15 @@ from repro.core.runtime import TmiRuntime
 #: Systems that run the FIXED workload variant.
 SOURCE_FIX_SYSTEMS = ("manual",)
 
+#: Systems that run the DEFAULT variant rewritten by the static repair
+#: planner (see :mod:`repro.analysis.repair`): plain pthreads under the
+#: rewritten layout, and the rewritten layout under full TMI protection
+#: (does dynamic isolation still find anything to repair?).
+STATIC_REPAIR_SYSTEMS = ("static-repaired", "static-tmi")
+
 SYSTEM_NAMES = ("pthreads", "glibc", "manual", "tmi-alloc", "tmi-detect",
                 "tmi-protect", "sheriff-detect", "sheriff-protect",
-                "laser")
+                "laser", "static-repaired", "static-tmi")
 
 
 def make_runtime(system, config=None):
@@ -43,6 +49,10 @@ def make_runtime(system, config=None):
         return SheriffRuntime("protect")
     if system == "laser":
         return LaserRuntime(config or TmiConfig())
+    if system == "static-repaired":
+        return PthreadsRuntime()
+    if system == "static-tmi":
+        return TmiRuntime("protect", config or TmiConfig())
     raise KeyError(f"unknown system {system!r}; known: {SYSTEM_NAMES}")
 
 

@@ -14,7 +14,8 @@ payload values always arrive), so the run itself succeeds either way;
 only the vector-clock analysis tells the variants apart.
 """
 
-from repro.workloads.base import DEFAULT, MB, Workload
+from repro.workloads.base import (DEFAULT, MB, Workload, spawn_join,
+                                  worker_index)
 
 
 class RacyFlag(Workload):
@@ -98,3 +99,72 @@ class RacyFlag(Workload):
         program = super().build(variant)
         program.nthreads = 2
         return program
+
+
+class RacyCounters(Workload):
+    """Packed per-thread counters: the repair planner's positive control.
+
+    Every worker read-modify-writes its own 8-byte counter, but the
+    default layout packs all of them into one cache line -- the textbook
+    injected false-sharing bug, with zero data races (each counter has
+    exactly one toucher).  The planner must fix 100% of it: one falsely
+    shared line, equal-length single-owner atoms, a per-thread split.
+    The ``fixed`` variant strides the counters a line apart, which is
+    precisely the layout the planner's rewrite synthesizes dynamically.
+    """
+
+    name = "racy-counters"
+    suite = "micro"
+    nthreads = 4
+    footprint = 1 * MB
+    has_false_sharing = True
+    sync_rate = "low"
+    # thread creation staggers worker start times by a few thousand
+    # cycles each; the increment loops must outlast that stagger or the
+    # workers never overlap and the "contended" line sees no
+    # parallel-phase HITM at all (a vacuous positive control)
+    increments = 8000
+
+    def body(self, binary, env, variant):
+        ld = binary.load_site("counter_read", 8)
+        st = binary.store_site("counter_incr", 8)
+        stride = 8 if variant == DEFAULT else 64
+        nworkers = self.nthreads
+        iters = self.iters(self.increments)
+
+        def main(t):
+            buf = yield from t.malloc(
+                max(64, nworkers * stride) + 64, align=64)
+            env["counters"] = buf
+            env["stride"] = stride
+            env["workers"] = nworkers
+            env["iters"] = iters
+
+            def worker(w):
+                addr = buf + worker_index(w) * stride
+                for _ in range(iters):
+                    value = yield from w.load(addr, 8, site=ld)
+                    yield from w.store(addr, value + 1, 8, site=st)
+
+            yield from spawn_join(t, nworkers, worker)
+            total = 0
+            for index in range(nworkers):
+                value = yield from t.load(buf + index * stride, 8,
+                                          site=ld)
+                total += value
+            env["total"] = total
+
+        return main
+
+    def validate(self, env, engine):
+        expected = env["workers"] * env["iters"]
+        assert env.get("total") == expected, (
+            f"counters sum to {env.get('total')} != {expected}")
+
+    result_env_keys = ("total", "workers", "iters")
+
+    def final_state(self, env, engine):
+        state = super().final_state(env, engine)
+        state["counters"] = tuple(self.read_words(
+            engine, env["counters"], env["workers"], env["stride"]))
+        return state

@@ -5,7 +5,7 @@ from repro.workloads.apps import LevelDB
 from repro.workloads.boost import MICROS
 from repro.workloads.parsec import PARSEC
 from repro.workloads.phoenix import PHOENIX
-from repro.workloads.racy import RacyFlag
+from repro.workloads.racy import RacyCounters, RacyFlag
 from repro.workloads.splash2x import Cholesky, SPLASH2X
 
 #: The nine workloads of Figure 9 (automatic repair), in paper order.
@@ -22,6 +22,7 @@ def _build_registry():
     registry["leveldb"] = LevelDB
     registry["cholesky"] = Cholesky
     registry["racy-flag"] = RacyFlag
+    registry["racy-counters"] = RacyCounters
     return registry
 
 
@@ -53,4 +54,5 @@ def repair_suite_names():
 
 
 def all_names():
-    return figure7_names() + ["leveldb-fs", "cholesky", "racy-flag"]
+    return figure7_names() + ["leveldb-fs", "cholesky", "racy-flag",
+                              "racy-counters"]

@@ -1,0 +1,167 @@
+"""Edge cases of the Predator-style line classifier.
+
+Two layers: direct mask-level classification (the byte-overlap rule on
+hand-built inputs) and extractor-driven classification of synthetic
+programs exercising the layouts the rule most easily gets wrong --
+objects spanning line boundaries, adjacent objects with zero byte
+overlap, and line-boundary-aligned objects that only look shared.
+"""
+
+import pytest
+
+from repro.analysis.extract import TraceExtractor
+from repro.analysis.layout_check import (classify_lines,
+                                         false_sharing_lines,
+                                         true_sharing_lines)
+from repro.engine import Program
+from repro.isa import Binary
+
+LINE = 64
+
+
+class TestMaskClassification:
+    """classify_lines on hand-built {line: {tid: [r, w]}} inputs."""
+
+    def test_zero_byte_overlap_adjacency_is_false_sharing(self):
+        # Two writers on one line whose byte masks touch back to back
+        # (bytes 0-7 and 8-15) but never overlap: false sharing.
+        lines = {0x1000: {1: [0, 0x00FF], 2: [0, 0xFF00]}}
+        shared = classify_lines(lines)
+        assert len(shared) == 1
+        assert false_sharing_lines(shared) == shared
+        assert shared[0].writer_tids == (1, 2)
+
+    def test_single_byte_overlap_is_true_sharing(self):
+        lines = {0x1000: {1: [0, 0x01FF], 2: [0, 0xFF00]}}
+        shared = classify_lines(lines)
+        assert true_sharing_lines(shared) == shared
+
+    def test_write_overlapping_foreign_read_is_true_sharing(self):
+        # A writer whose bytes another thread only READS still truly
+        # shares -- the reader's misses are communication, not layout.
+        lines = {0x1000: {1: [0, 0x0F], 2: [0x0F, 0]}}
+        shared = classify_lines(lines)
+        assert true_sharing_lines(shared) == shared
+
+    def test_readers_only_line_is_not_shared(self):
+        lines = {0x1000: {1: [0xFF, 0], 2: [0xFF00, 0]}}
+        assert classify_lines(lines) == []
+
+    def test_single_thread_line_is_not_shared(self):
+        lines = {0x1000: {1: [0xFF, 0xFF]}}
+        assert classify_lines(lines) == []
+
+    def test_zero_mask_thread_is_ignored(self):
+        # A tid present in the map with empty masks must not count
+        # toward the >= 2 threads rule.
+        lines = {0x1000: {1: [0, 0xFF], 2: [0, 0]}}
+        assert classify_lines(lines) == []
+
+    def test_lines_sorted_by_address(self):
+        lines = {
+            0x2000: {1: [0, 0x0F], 2: [0, 0xF0]},
+            0x1000: {1: [0, 0x0F], 2: [0, 0xF0]},
+        }
+        shared = classify_lines(lines)
+        assert [s.line_va for s in shared] == [0x1000, 0x2000]
+
+
+def _extract(builder, nthreads):
+    program = Program("synthetic", Binary("synthetic"), builder,
+                      nthreads=nthreads)
+    return TraceExtractor(program).run()
+
+
+def _two_writer_program(offset_a, offset_b, width=8, read_b=False):
+    """main mallocs one block; two workers touch it at fixed offsets."""
+
+    def main(t):
+        base = yield from t.malloc(4 * LINE, align=LINE)
+
+        def worker_a(t):
+            for _ in range(4):
+                yield from t.store(base + offset_a, 1, width)
+
+        def worker_b(t):
+            for _ in range(4):
+                if read_b:
+                    yield from t.load(base + offset_b, width)
+                else:
+                    yield from t.store(base + offset_b, 2, width)
+
+        tids = []
+        for body in (worker_a, worker_b):
+            tid = yield from t.spawn(body)
+            tids.append(tid)
+        for tid in tids:
+            yield from t.join(tid)
+
+    return main
+
+
+def _classified(extracted):
+    return classify_lines(extracted.lines, extracted.line_sites)
+
+
+class TestExtractorEdgeCases:
+    """Classification of traced synthetic layouts."""
+
+    def _base(self, extracted):
+        base = extracted.allocations[0].base
+        assert base % LINE == 0, "allocator no longer line-aligns"
+        return base
+
+    def test_multi_line_object_flags_only_straddled_line(self):
+        # One object covers lines 0-1; A owns all of line 0 plus the
+        # first bytes of line 1, B writes right after A's bytes.  Only
+        # the straddled line falsely shares; A's private line is quiet.
+        extracted = _extract(
+            _two_writer_program(LINE + 0, LINE + 8), nthreads=2)
+        base = self._base(extracted)
+        shared = _classified(extracted)
+        assert [s.line_va for s in shared] == [base + LINE]
+        assert false_sharing_lines(shared) == shared
+
+    def test_object_written_across_line_boundary_fuses_lines(self):
+        # A's 8-byte store straddles the line boundary (starts at
+        # offset 60): both lines see A, and B's line falsely shares.
+        extracted = _extract(
+            _two_writer_program(LINE - 4, LINE + 8), nthreads=2)
+        base = self._base(extracted)
+        shared = _classified(extracted)
+        assert [s.line_va for s in shared] == [base + LINE]
+        straddler = extracted.lines[base][1]
+        assert straddler[1], "straddling store left no mask on line 0"
+
+    def test_zero_byte_overlap_adjacency_traced(self):
+        extracted = _extract(
+            _two_writer_program(0, 8), nthreads=2)
+        base = self._base(extracted)
+        shared = _classified(extracted)
+        assert [s.line_va for s in shared] == [base]
+        assert false_sharing_lines(shared) == shared
+
+    def test_adjacent_writer_and_reader_overlap_is_true(self):
+        # B reads the very bytes A writes: true sharing, not layout.
+        extracted = _extract(
+            _two_writer_program(0, 0, read_b=True), nthreads=2)
+        shared = _classified(extracted)
+        assert true_sharing_lines(shared) == shared
+
+    def test_line_boundary_aligned_objects_do_not_share(self):
+        # Each worker owns its own whole line: no shared line at all.
+        extracted = _extract(
+            _two_writer_program(0, LINE), nthreads=2)
+        assert _classified(extracted) == []
+
+
+class TestRepairSuiteConsistency:
+    """The classifier agrees with the repair suite's declarations."""
+
+    @pytest.mark.parametrize("name", ("histogramfs", "lu-ncb"))
+    def test_declared_false_sharing_is_classified(self, name):
+        from repro.workloads import get as get_workload
+        program = get_workload(name, scale=0.05).build("default")
+        extracted = TraceExtractor(program).run()
+        shared = classify_lines(extracted.lines, extracted.line_sites)
+        assert false_sharing_lines(shared), name

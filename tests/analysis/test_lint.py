@@ -94,3 +94,41 @@ class TestRegistryClean:
         for name in ("histogramfs", "lreg", "spinlockpool"):
             report = lint_workload(name, scale=0.05)
             assert report.predicted_false, report.format()
+
+
+class TestJsonReport:
+    """The machine-readable repro-lint-report/1 schema must stay
+    stable: CI pipelines parse it (see .github/workflows/ci.yml)."""
+
+    def test_report_dict_schema(self):
+        import json
+
+        from repro.analysis.lint import LINT_FORMAT
+
+        doc = lint_workload("histogramfs", scale=0.05).to_dict()
+        assert doc["format"] == LINT_FORMAT == "repro-lint-report/1"
+        assert sorted(doc.keys()) == [
+            "counts", "findings", "format", "ok", "ops",
+            "predicted_false", "predicted_true", "threads",
+            "truncated", "workload"]
+        for finding in doc["findings"]:
+            assert {"rule", "severity", "message"} <= set(finding)
+        json.dumps(doc, sort_keys=True)  # must be JSON-serializable
+
+    def test_report_dict_is_deterministic(self):
+        import json
+
+        first = json.dumps(lint_workload("lreg", scale=0.05).to_dict(),
+                           sort_keys=True)
+        second = json.dumps(lint_workload("lreg", scale=0.05).to_dict(),
+                            sort_keys=True)
+        assert first == second
+
+    def test_meets_severity_thresholds(self):
+        from repro.analysis.findings import meets_severity
+
+        findings = lint_workload("histogramfs", scale=0.05).findings
+        assert findings  # info-level false-sharing predictions
+        assert meets_severity(findings, "info")
+        assert not meets_severity(findings, "error")
+        assert not meets_severity([], "info")

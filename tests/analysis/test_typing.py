@@ -1,0 +1,24 @@
+"""Typecheck gate for the ratcheted mypy config in pyproject.toml.
+
+CI installs mypy and runs the same invocation as its typecheck job;
+locally the test skips when mypy isn't available (the container image
+doesn't bake it in).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy", reason="mypy not installed; CI enforces it")
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_mypy_ratchet_is_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy",
+         "src/repro/analysis", "src/repro/engine/vector"],
+        capture_output=True, text=True, cwd=REPO)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -134,3 +134,42 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "self-profile" in out
         assert "memory-system" in out
+
+
+class TestLintGate:
+    """`lint --format json` and `--fail-on` are the CI contract."""
+
+    def test_json_output_parses_with_format_tag(self, capsys):
+        import json
+        assert main(["lint", "histogramfs", "--scale", "0.05",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro-lint-report/1"
+        assert doc["workload"] == "histogramfs"
+
+    def test_fail_on_info_trips_on_predictions(self, capsys):
+        # histogramfs lints ok (no errors) but carries info-level
+        # false-sharing predictions -> gate at info must fail
+        assert main(["lint", "histogramfs", "--scale", "0.05",
+                     "--fail-on", "info"]) == 1
+        assert main(["lint", "histogramfs", "--scale", "0.05",
+                     "--fail-on", "warning"]) == 0
+        capsys.readouterr()
+
+    def test_fail_on_clean_workload_passes(self, capsys):
+        assert main(["lint", "swaptions", "--scale", "0.05",
+                     "--fail-on", "info"]) == 0
+        capsys.readouterr()
+
+
+class TestRepairCommand:
+    def test_repair_plans_one_workload(self, capsys, tmp_path):
+        import json
+        assert main(["repair", "racy-counters", "--scale", "0.05",
+                     "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "racy-counters" in out and "split" in out
+        saved = list(tmp_path.glob("*.json"))
+        assert saved, out
+        assert json.loads(saved[0].read_text())["format"] == \
+            "repro-repair-plan/1"
