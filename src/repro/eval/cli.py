@@ -21,6 +21,11 @@ Regenerate any paper artifact without pytest::
     python -m repro.eval.cli chaos --smoke
     python -m repro.eval.cli replay results/fuzz/racy-flag-....json
     python -m repro.eval.cli replay results/chaos/histogramfs-....json
+    python -m repro.eval.cli submit --workloads histogram,histogramfs
+    python -m repro.eval.cli serve --once
+    python -m repro.eval.cli status
+    python -m repro.eval.cli status grid-....-1 --json
+    python -m repro.eval.cli results grid-....-1
     python -m repro.eval.cli list
 """
 
@@ -195,8 +200,177 @@ def build_parser():
     replay.add_argument("artifact",
                         help="path to a ScheduleTrace or FaultPlan JSON")
 
+    serve = sub.add_parser(
+        "serve", help="run the campaign service: poll the inbox, "
+                      "shard cells over worker pools, serve cached "
+                      "results")
+    serve.add_argument("--root", default=None,
+                       help="service root (default results/service)")
+    serve.add_argument("--once", action="store_true",
+                       help="process everything currently submitted, "
+                            "then exit (CI smoke mode)")
+    serve.add_argument("--poll", type=float, default=0.2,
+                       help="inbox poll interval in seconds")
+    serve.add_argument("--jobs", type=int, default=None)
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock timeout in seconds")
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign spec (a JSON file, or "
+                       "built from the flags below)")
+    submit.add_argument("spec", nargs="?", default=None,
+                        help="path to a repro-campaign-spec/1 JSON "
+                             "(omit to build one from flags)")
+    submit.add_argument("--root", default=None)
+    submit.add_argument("--id", dest="campaign_id", default=None,
+                        help="explicit campaign id (default: derived "
+                             "from the spec digest)")
+    submit.add_argument("--kind", default="grid",
+                        choices=("grid", "fuzz", "chaos"))
+    submit.add_argument("--workloads", default=None,
+                        help="comma-separated workload names")
+    submit.add_argument("--systems", default="pthreads",
+                        help="comma-separated system names")
+    submit.add_argument("--scale", type=float, default=0.1)
+    submit.add_argument("--seeds", default=None,
+                        help="comma-separated integer seeds "
+                             "(fuzz/chaos campaigns)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="lower runs sooner")
+    submit.add_argument("--name", default="")
+    submit.add_argument("--run", action="store_true",
+                        help="process the campaign inline instead of "
+                             "spooling it for a running server")
+    submit.add_argument("--jobs", type=int, default=None)
+
+    status = sub.add_parser(
+        "status", help="show one campaign's state (or list all)")
+    status.add_argument("campaign", nargs="?", default=None,
+                        help="campaign id (omit to list)")
+    status.add_argument("--root", default=None)
+    status.add_argument("--json", dest="as_json", action="store_true",
+                        help="print the raw repro-campaign/1 document")
+    status.add_argument("--assert-cache-hits", type=float,
+                        default=None, metavar="FRAC",
+                        help="exit nonzero unless the cache-hit "
+                             "fraction is >= FRAC (CI gate)")
+
+    results = sub.add_parser(
+        "results", help="print a campaign's per-cell results from "
+                        "the content-addressed store")
+    results.add_argument("campaign", help="campaign id")
+    results.add_argument("--root", default=None)
+    results.add_argument("--out", default=None,
+                         help="write the JSON here instead of stdout")
+
     sub.add_parser("list", help="list workloads and systems")
     return parser
+
+
+def _campaign_summary(state):
+    """One status line for a campaign state document."""
+    counts = state.get("counts", {})
+    hits = state.get("cache_hit_fraction", 0.0)
+    return (f"{state.get('id')}: {state.get('status')} "
+            f"({counts.get('ok', 0)}/{counts.get('total', 0)} ok, "
+            f"{counts.get('cache_hits', 0)} cached [{hits:.0%}], "
+            f"{counts.get('executed', 0)} executed, "
+            f"{counts.get('failed', 0)} failed, "
+            f"{counts.get('timeout', 0)} timeout, "
+            f"{counts.get('retried', 0)} retried)")
+
+
+def _service_command(args):
+    """Dispatch the campaign-service subcommands."""
+    import asyncio
+    import json
+
+    from repro.service import (CampaignService, CampaignSpec,
+                               ServiceClient)
+
+    if args.command == "serve":
+        service = CampaignService(root=args.root, jobs=args.jobs,
+                                  timeout=args.timeout)
+        done = asyncio.run(service.serve(once=args.once,
+                                         poll=args.poll))
+        for job in done:
+            print(_campaign_summary(job.to_dict()))
+        failed = sum(1 for job in done if job.status != "completed")
+        return 1 if failed else 0
+
+    if args.command == "submit":
+        if args.spec is not None:
+            spec = CampaignSpec.load(args.spec)
+        else:
+            if not args.workloads:
+                print("submit: need a spec file or --workloads",
+                      file=sys.stderr)
+                return 2
+            seeds = None
+            if args.seeds:
+                seeds = tuple(int(s)
+                              for s in args.seeds.split(","))
+            spec = CampaignSpec(
+                workloads=tuple(args.workloads.split(",")),
+                systems=tuple(args.systems.split(",")),
+                kind=args.kind, scale=args.scale, seeds=seeds,
+                priority=args.priority, name=args.name)
+        if args.run:
+            service = CampaignService(root=args.root, jobs=args.jobs)
+            job = service.run_spec(spec,
+                                   campaign_id=args.campaign_id)
+            print(_campaign_summary(job.to_dict()))
+            return 0 if job.status == "completed" else 1
+        client = ServiceClient(root=args.root)
+        campaign_id = client.submit(spec,
+                                    campaign_id=args.campaign_id)
+        print(f"submitted {campaign_id} "
+              f"({len(spec.cells())} cells, kind={spec.kind}); "
+              f"run `serve` against the same root to execute")
+        return 0
+
+    client = ServiceClient(root=args.root)
+    if args.command == "status":
+        if args.campaign is None:
+            listed = 0
+            for campaign_id in client.campaign_ids():
+                state = client.status(campaign_id)
+                if state is not None:
+                    print(_campaign_summary(state))
+                    listed += 1
+            if not listed:
+                print("no campaigns")
+            return 0
+        state = client.status(args.campaign)
+        if state is None:
+            print(f"unknown campaign {args.campaign!r}",
+                  file=sys.stderr)
+            return 2
+        if args.as_json:
+            print(json.dumps(state, indent=1, sort_keys=True))
+        else:
+            print(_campaign_summary(state))
+        if args.assert_cache_hits is not None:
+            frac = state.get("cache_hit_fraction", 0.0)
+            if frac < args.assert_cache_hits:
+                print(f"cache-hit fraction {frac:.2%} below required "
+                      f"{args.assert_cache_hits:.2%}", file=sys.stderr)
+                return 1
+        return 0 if state.get("status") == "completed" else 1
+
+    # results
+    rows = client.results(args.campaign)
+    if rows is None:
+        print(f"unknown campaign {args.campaign!r}", file=sys.stderr)
+        return 2
+    text = json.dumps(rows, indent=1, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"[saved {args.out}]")
+    else:
+        print(text)
+    return 0
 
 
 def main(argv=None):
@@ -407,6 +581,9 @@ def main(argv=None):
             return 0
         print(f"  DID NOT reproduce (artifact: {args.artifact})")
         return 1
+
+    if args.command in ("serve", "submit", "status", "results"):
+        return _service_command(args)
 
     fn = EXPERIMENTS[args.command]
     kwargs = {}

@@ -18,8 +18,10 @@ which is what grid-level reporting consumes.
 
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 
+from repro.errors import CheckpointError
 from repro.eval.parallel import (CELL_OK, job_count,
                                  run_cells_recorded)
 from repro.eval.report import results_dir
@@ -69,17 +71,33 @@ def checkpoint_path(name, out_dir=None):
     return os.path.join(directory, f"{name}.json")
 
 
-def _load_checkpoint(path):
+def load_checkpoint(path):
+    """Load a checkpoint's cell entries; ``{}`` when none exists.
+
+    A file that cannot be parsed (truncated by a crashed writer,
+    hand-edited into invalid JSON) or that carries the wrong format tag
+    raises :class:`~repro.errors.CheckpointError` naming the path —
+    never a bare ``JSONDecodeError``.
+    """
     if not os.path.exists(path):
         return {}
     with open(path) as fh:
-        data = json.load(fh)
-    if data.get("format") != CHECKPOINT_FORMAT:
-        raise ValueError(
-            f"unsupported grid checkpoint format "
-            f"{data.get('format')!r} in {path} "
-            f"(expected {CHECKPOINT_FORMAT})")
-    return data.get("cells", {})
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                path, f"truncated or corrupted JSON ({exc})") from exc
+    if not isinstance(data, dict) \
+            or data.get("format") != CHECKPOINT_FORMAT:
+        tag = data.get("format") if isinstance(data, dict) else None
+        raise CheckpointError(
+            path, f"unsupported grid checkpoint format {tag!r} "
+                  f"(expected {CHECKPOINT_FORMAT})")
+    cells = data.get("cells", {})
+    if not isinstance(cells, dict):
+        raise CheckpointError(
+            path, f"malformed cells table ({type(cells).__name__})")
+    return cells
 
 
 def _write_checkpoint(path, entries):
@@ -93,7 +111,7 @@ def _write_checkpoint(path, entries):
 
 
 def run_checkpointed(cells, name, jobs=None, timeout=None,
-                     out_dir=None, fresh=False):
+                     out_dir=None, fresh=False, fallback_fresh=False):
     """Run ``cells`` under checkpoint ``name``; returns
     :class:`GridCell` records in input order.
 
@@ -103,10 +121,26 @@ def run_checkpointed(cells, name, jobs=None, timeout=None,
     hardened pool in batches, and the checkpoint is rewritten after
     every batch so an interruption loses at most one batch of work.
     ``fresh=True`` discards any existing checkpoint first.
+
+    An unusable checkpoint (truncated JSON, wrong format tag) raises
+    :class:`~repro.errors.CheckpointError` by default;
+    ``fallback_fresh=True`` instead warns and resumes from nothing —
+    the behavior long-running services want, where losing a resume is
+    recoverable but crashing the campaign is not.
     """
     cells = list(cells)
     path = checkpoint_path(name, out_dir=out_dir)
-    entries = {} if fresh else _load_checkpoint(path)
+    if fresh:
+        entries = {}
+    else:
+        try:
+            entries = load_checkpoint(path)
+        except CheckpointError as exc:
+            if not fallback_fresh:
+                raise
+            warnings.warn(f"{exc}; resuming from a fresh run",
+                          RuntimeWarning, stacklevel=2)
+            entries = {}
     results = [None] * len(cells)
     pending = []
     for index, cell in enumerate(cells):

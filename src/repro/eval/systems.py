@@ -30,9 +30,12 @@ SYSTEM_NAMES = ("pthreads", "glibc", "manual", "tmi-alloc", "tmi-detect",
 def make_runtime(system, config=None):
     """Instantiate the runtime for a system name.
 
-    ``config`` (a :class:`TmiConfig`) parameterizes TMI and LASER; the
-    others ignore it.
+    ``config`` (a :class:`TmiConfig`, or a plain dict of its field
+    overrides — the JSON form campaign specs carry) parameterizes TMI
+    and LASER; the others ignore it.
     """
+    if isinstance(config, dict):
+        config = TmiConfig(**config)
     if system in ("pthreads", "manual"):
         return PthreadsRuntime()
     if system == "glibc":

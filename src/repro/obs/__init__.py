@@ -23,11 +23,12 @@ and the cycle-exactness goldens pin bit-identical results.
 from repro.obs.metrics import (DEFAULT_BUCKETS, METRICS_VERSION, Counter,
                                Gauge, Histogram, MetricsRegistry)
 from repro.obs.profile import Profiler, format_profile
-from repro.obs.tracer import (TRACE_VERSION, Tracer, write_chrome_trace,
-                              write_jsonl)
+from repro.obs.tracer import (TRACE_VERSION, EventLog, Tracer,
+                              write_chrome_trace, write_jsonl)
 
 __all__ = [
-    "DEFAULT_BUCKETS", "METRICS_VERSION", "Counter", "Gauge",
-    "Histogram", "MetricsRegistry", "Profiler", "TRACE_VERSION",
-    "Tracer", "format_profile", "write_chrome_trace", "write_jsonl",
+    "DEFAULT_BUCKETS", "METRICS_VERSION", "Counter", "EventLog",
+    "Gauge", "Histogram", "MetricsRegistry", "Profiler",
+    "TRACE_VERSION", "Tracer", "format_profile", "write_chrome_trace",
+    "write_jsonl",
 ]

@@ -238,6 +238,44 @@ class Tracer(EngineObserver):
                 "counts": self.counts(), "events": list(self.events)}
 
 
+class EventLog:
+    """Tracer-shaped event collector for host-side services.
+
+    The campaign service streams progress (submissions, shard
+    completions, cache hits) as the same plain event dicts the
+    :class:`Tracer` emits, so :func:`write_jsonl` exports them and the
+    determinism-bisection workflow can diff them.  There is no engine
+    and no simulated clock here: ``ts`` is a deterministic per-log
+    sequence number, which keeps campaign state files byte-stable for
+    identical submission histories.
+    """
+
+    def __init__(self, meta=None):
+        self.meta = dict(meta or {})
+        self.events = []
+
+    def emit(self, kind, **fields):
+        """Append one event; returns the event dict."""
+        event = dict(fields)
+        event["kind"] = kind
+        event["ts"] = len(self.events)
+        self.events.append(event)
+        return event
+
+    def counts(self):
+        """Event totals by kind (deterministic ordering)."""
+        totals = {}
+        for event in self.events:
+            kind = event["kind"]
+            totals[kind] = totals.get(kind, 0) + 1
+        return dict(sorted(totals.items()))
+
+    def trace_data(self):
+        """The log in the :class:`Tracer` hand-off format."""
+        return {"version": TRACE_VERSION, "meta": dict(self.meta),
+                "counts": self.counts(), "events": list(self.events)}
+
+
 # ----------------------------------------------------------------------
 # exports
 # ----------------------------------------------------------------------

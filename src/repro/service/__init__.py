@@ -1,0 +1,52 @@
+"""Campaign service: async sharded experiment traffic over the grid.
+
+The serving-stack layer the ROADMAP asks for: many tenants submit
+:class:`CampaignSpec` requests (grid / fuzz / chaos), an asyncio
+scheduler shards their cells across the hardened
+:mod:`repro.eval.parallel` worker pools, and a content-addressed
+:class:`ResultStore` serves any cell that has ever been computed —
+keyed by a canonical digest of (workload, system, config, seed,
+engine-version), so resubmitted or overlapping campaigns get cached
+cells byte-identical and free.
+
+Pieces:
+
+- :mod:`repro.service.spec` — versioned ``repro-campaign-spec/1``
+  requests, validated at submission time;
+- :mod:`repro.service.store` — the content-addressed cell-result
+  cache and its canonical cache key;
+- :mod:`repro.service.scheduler` — bounded priority queue, shard
+  executor, per-campaign ``repro-campaign/1`` state with
+  ok/failed/timeout/retried classification, obs-layer progress;
+- :mod:`repro.service.service` — the long-running service: file
+  inbox, restart resume, arrival-driven submission streams;
+- :mod:`repro.service.client` — the tenant-side file client;
+- :mod:`repro.service.arrival` — closed-loop / Poisson / bursty
+  arrival processes for load modeling.
+
+CLI: ``python -m repro.eval.cli serve | submit | status | results``.
+See the service section of ``docs/ARCHITECTURE.md`` and the
+"Running a campaign" walkthrough in ``EXPERIMENTS.md``.
+"""
+
+from repro.service.arrival import (ARRIVAL_PROCESSES, ArrivalProcess,
+                                   Bursty, ClosedLoop, Poisson,
+                                   make_arrival)
+from repro.service.client import ServiceClient, load_spec
+from repro.service.scheduler import (CAMPAIGN_FORMAT, COMPLETED,
+                                     FAILED, PENDING, RUNNING,
+                                     CampaignJob, CampaignScheduler)
+from repro.service.service import TERMINAL, CampaignService
+from repro.service.spec import KINDS, SPEC_FORMAT, CampaignSpec
+from repro.service.store import (STORE_FORMAT, ResultStore,
+                                 canonical_form, cell_digest,
+                                 payload_bytes, result_payload)
+
+__all__ = [
+    "ARRIVAL_PROCESSES", "ArrivalProcess", "Bursty", "CAMPAIGN_FORMAT",
+    "COMPLETED", "CampaignJob", "CampaignScheduler", "CampaignService",
+    "CampaignSpec", "ClosedLoop", "FAILED", "KINDS", "PENDING",
+    "Poisson", "RUNNING", "ResultStore", "SPEC_FORMAT", "STORE_FORMAT",
+    "ServiceClient", "TERMINAL", "canonical_form", "cell_digest",
+    "load_spec", "make_arrival", "payload_bytes", "result_payload",
+]

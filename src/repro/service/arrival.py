@@ -1,0 +1,147 @@
+"""Pluggable arrival processes for campaign load modeling.
+
+The millions-of-users story is many tenants submitting campaigns
+against one simulator fleet; *how* those submissions arrive changes
+queueing behavior more than how many there are.  Three classic client
+models, each deterministic under its seed so load experiments replay
+exactly:
+
+- **closed-loop** — a fixed client population; each client submits its
+  next campaign only after the previous one completes, plus an optional
+  think time.  Offered load self-throttles to service capacity.
+- **poisson** — open-loop memoryless arrivals at a fixed rate;
+  submissions keep coming whether or not the fleet keeps up, which is
+  what exposes backpressure behavior.
+- **bursty** — open-loop arrivals in bursts: ``burst`` back-to-back
+  submissions, exponential gaps between bursts, long-run average rate
+  preserved.  Stresses queue depth the Poisson average hides.
+
+An arrival process only *times* submissions (it yields inter-arrival
+gaps in seconds); what gets submitted stays the caller's business —
+see :meth:`repro.service.CampaignService.submit_stream`.
+"""
+
+import itertools
+import random
+
+from repro.errors import CampaignSpecError
+
+
+class ArrivalProcess:
+    """Base class: a deterministic stream of inter-arrival gaps."""
+
+    #: Registry name; subclasses override.
+    process = ""
+    #: Closed-loop processes gate the next submission on completion.
+    closed = False
+
+    def gaps(self):
+        """Infinite iterator of inter-arrival gaps (seconds >= 0)."""
+        raise NotImplementedError
+
+    def times(self, n):
+        """The first ``n`` absolute arrival times (cumulative gaps)."""
+        out, now = [], 0.0
+        for gap in itertools.islice(self.gaps(), n):
+            now += gap
+            out.append(now)
+        return out
+
+
+class ClosedLoop(ArrivalProcess):
+    """A fixed client population with optional think time.
+
+    ``clients`` concurrent tenants each wait for their previous
+    campaign to finish, think for ``think`` seconds, then submit again
+    — the textbook closed system, whose offered load adapts to service
+    capacity instead of overrunning it.
+    """
+
+    process = "closed"
+    closed = True
+
+    def __init__(self, clients=1, think=0.0):
+        if clients < 1:
+            raise CampaignSpecError(f"bad client count {clients!r}")
+        if think < 0:
+            raise CampaignSpecError(f"bad think time {think!r}")
+        self.clients = clients
+        self.think = think
+
+    def gaps(self):
+        """Constant think-time gaps (completion gating is external)."""
+        while True:
+            yield self.think
+
+
+class Poisson(ArrivalProcess):
+    """Open-loop memoryless arrivals at ``rate`` per second."""
+
+    process = "poisson"
+
+    def __init__(self, rate=1.0, seed=0):
+        if rate <= 0:
+            raise CampaignSpecError(f"bad arrival rate {rate!r}")
+        self.rate = rate
+        self.seed = seed
+
+    def gaps(self):
+        """Exponential inter-arrival gaps (seeded, replayable)."""
+        rng = random.Random(f"arrival:poisson:{self.seed}")
+        while True:
+            yield rng.expovariate(self.rate)
+
+
+class Bursty(ArrivalProcess):
+    """Open-loop bursts: ``burst`` back-to-back arrivals, then a gap.
+
+    Gaps between bursts are exponential with mean ``burst / rate``, so
+    the long-run average arrival rate still equals ``rate`` — same
+    average load as :class:`Poisson`, much deeper queue excursions.
+    """
+
+    process = "bursty"
+
+    def __init__(self, rate=1.0, burst=4, seed=0):
+        if rate <= 0:
+            raise CampaignSpecError(f"bad arrival rate {rate!r}")
+        if burst < 1:
+            raise CampaignSpecError(f"bad burst size {burst!r}")
+        self.rate = rate
+        self.burst = burst
+        self.seed = seed
+
+    def gaps(self):
+        """Zero gaps inside a burst, exponential gaps between bursts."""
+        rng = random.Random(f"arrival:bursty:{self.seed}")
+        while True:
+            yield rng.expovariate(self.rate / self.burst)
+            for _ in range(self.burst - 1):
+                yield 0.0
+
+
+#: Registered arrival processes by spec name.
+ARRIVAL_PROCESSES = {cls.process: cls
+                     for cls in (ClosedLoop, Poisson, Bursty)}
+
+
+def make_arrival(spec):
+    """Instantiate an arrival process from its spec dict.
+
+    ``spec`` is the ``arrival`` field of a campaign spec:
+    ``{"process": "poisson", "rate": 4.0, "seed": 1}``.
+    """
+    if not isinstance(spec, dict) or "process" not in spec:
+        raise CampaignSpecError(
+            f"arrival spec needs a 'process' key (got {spec!r})")
+    kwargs = {k: v for k, v in spec.items() if k != "process"}
+    cls = ARRIVAL_PROCESSES.get(spec["process"])
+    if cls is None:
+        raise CampaignSpecError(
+            f"unknown arrival process {spec['process']!r} "
+            f"(known: {sorted(ARRIVAL_PROCESSES)})")
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise CampaignSpecError(
+            f"malformed arrival spec {spec!r}: {exc}") from exc

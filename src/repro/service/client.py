@@ -1,0 +1,81 @@
+"""File-based campaign client: submit/status against a service root.
+
+The client and the service share nothing but a directory tree (see
+:mod:`repro.service.service` for the layout), which is what lets
+campaigns survive process restarts on either side: a submission is an
+atomic spec-file rename into ``<root>/inbox/``, status is a read of
+``<root>/campaigns/<id>.json``, and results come straight out of the
+content-addressed store.  A client can therefore submit while the
+service is down — the spec waits in the inbox until the next
+``serve`` pass.
+"""
+
+import os
+import time
+
+from repro.service.service import CampaignService, TERMINAL
+from repro.service.spec import CampaignSpec
+
+
+class ServiceClient:
+    """A tenant handle on one service root."""
+
+    def __init__(self, root=None):
+        # the service object doubles as the directory-layout oracle;
+        # the client never touches its scheduler
+        self._service = CampaignService(root=root)
+        self.root = self._service.root
+
+    def submit(self, spec, campaign_id=None):
+        """Spool ``spec`` into the service inbox; returns the id.
+
+        The spec file is written to a temp name and renamed into
+        place, so a polling service never reads a half-written spec.
+        """
+        campaign_id = campaign_id \
+            or self._service.new_campaign_id(spec)
+        path = os.path.join(self._service.inbox_dir,
+                            f"{campaign_id}.json")
+        spec.save(path)
+        return campaign_id
+
+    def status(self, campaign_id):
+        """The campaign's state document, or None when unknown."""
+        return self._service.status(campaign_id)
+
+    def campaign_ids(self):
+        """Every campaign id known under this service root (sorted)."""
+        out = []
+        for fname in sorted(os.listdir(self._service.campaigns_dir)):
+            if fname.endswith(".json"):
+                out.append(fname[:-len(".json")])
+        return out
+
+    def results(self, campaign_id):
+        """Per-cell results (see
+        :meth:`repro.service.CampaignService.results`)."""
+        return self._service.results(campaign_id)
+
+    def wait(self, campaign_id, timeout=60.0, poll=0.1):
+        """Block until the campaign reaches a terminal status.
+
+        Returns the final state document; raises ``TimeoutError`` when
+        the budget runs out first (the campaign keeps running — this
+        only abandons the wait).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            state = self.status(campaign_id)
+            if state is not None and state.get("status") in TERMINAL:
+                return state
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} not terminal after "
+                    f"{timeout}s (last: "
+                    f"{state.get('status') if state else 'unknown'})")
+            time.sleep(poll)
+
+
+def load_spec(path):
+    """Read a campaign spec file (typed errors on malformed input)."""
+    return CampaignSpec.load(path)

@@ -1,0 +1,291 @@
+"""Asyncio campaign scheduler: queue, shards, cache, backpressure.
+
+One :class:`CampaignScheduler` owns a bounded priority queue of
+:class:`CampaignJob` objects and drains it through the existing
+hardened grid machinery.  Per job, the dataflow is::
+
+    spec.cells() --digest--> store lookup --+--> cache hits (free)
+                                            |
+                                            +--> misses, sharded
+                                                 |
+                             run_checkpointed (eval/parallel pool)
+                                                 |
+                                store.put + campaign state rewrite
+
+Execution of misses goes through
+:func:`repro.eval.grid.run_checkpointed` under a per-campaign
+checkpoint name, so a service process that dies mid-shard resumes from
+the last completed batch — the same ``results/checkpoints/`` machinery
+long grids already use.  Campaign state is rewritten atomically after
+every shard; a restarted service re-enqueues any campaign whose state
+file says ``pending``/``running`` and re-executes only the cells that
+never finished.
+
+Progress streams through the PR 4 observability layer: scheduler-level
+counters and gauges in a :class:`~repro.obs.MetricsRegistry`
+(``campaign.cells_total``, ``campaign.cache_hits``, ``campaign.
+executed``, ``campaign.queue_depth``, ...) plus tracer-style events in
+an :class:`~repro.obs.EventLog` that lands in each campaign's state
+file.
+"""
+
+import asyncio
+import json
+import os
+
+from repro.eval.grid import checkpoint_path, run_checkpointed
+from repro.eval.parallel import CELL_OK, CELL_TIMEOUT, job_count
+from repro.obs import EventLog, MetricsRegistry
+from repro.service.store import (ResultStore, cell_digest,
+                                 result_payload)
+
+#: Versioned campaign-state format tag.
+CAMPAIGN_FORMAT = "repro-campaign/1"
+
+#: Campaign lifecycle statuses.
+PENDING = "pending"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+
+#: Where a cell's result came from.
+SOURCE_CACHE = "cache"
+SOURCE_EXECUTED = "executed"
+SOURCE_CHECKPOINT = "checkpoint"
+
+
+class CampaignJob:
+    """One submitted campaign: spec, per-cell state, event log."""
+
+    def __init__(self, campaign_id, spec, state_path):
+        self.id = campaign_id
+        self.spec = spec
+        self.state_path = state_path
+        self.status = PENDING
+        #: digest -> {"cell", "status", "source", "retried", "error"}
+        self.cells = {}
+        self.log = EventLog(meta={"campaign": campaign_id,
+                                  "kind": spec.kind})
+
+    # ------------------------------------------------------------------
+    # derived state
+    # ------------------------------------------------------------------
+    def counts(self):
+        """Cell totals by harness status, source, and retry flag."""
+        counts = {"total": len(self.cells), "cache_hits": 0,
+                  "executed": 0, "checkpoint": 0, "retried": 0,
+                  "ok": 0, "failed": 0, "timeout": 0}
+        for entry in self.cells.values():
+            status = entry["status"]
+            counts[status] = counts.get(status, 0) + 1
+            source = entry["source"]
+            if source == SOURCE_CACHE:
+                counts["cache_hits"] += 1
+            elif source == SOURCE_CHECKPOINT:
+                counts["checkpoint"] += 1
+            else:
+                counts["executed"] += 1
+            if entry.get("retried"):
+                counts["retried"] += 1
+        return counts
+
+    def cache_hit_fraction(self):
+        """Fraction of the campaign's cells served from the store."""
+        if not self.cells:
+            return 0.0
+        counts = self.counts()
+        return counts["cache_hits"] / counts["total"]
+
+    def to_dict(self):
+        """The campaign state as a ``repro-campaign/1`` document."""
+        return {"format": CAMPAIGN_FORMAT, "id": self.id,
+                "status": self.status, "spec": self.spec.to_dict(),
+                "counts": self.counts(),
+                "cache_hit_fraction": self.cache_hit_fraction(),
+                "cells": self.cells,
+                "events": self.log.trace_data()}
+
+    def write_state(self):
+        """Atomically persist the state file; returns its path."""
+        os.makedirs(os.path.dirname(self.state_path), exist_ok=True)
+        tmp = self.state_path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.state_path)
+        return self.state_path
+
+    def load_state(self):
+        """Restore prior per-cell state (restart resume); best-effort.
+
+        An unreadable state file is treated as no prior progress — the
+        content-addressed store still makes re-derived cells cheap.
+        """
+        try:
+            with open(self.state_path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return False
+        if not isinstance(data, dict) \
+                or data.get("format") != CAMPAIGN_FORMAT:
+            return False
+        self.cells = dict(data.get("cells", {}))
+        self.status = data.get("status", PENDING)
+        return True
+
+
+class CampaignScheduler:
+    """Shards campaign cells across the hardened worker pools.
+
+    ``queue_limit`` bounds the submission queue — a full queue makes
+    ``submit`` await, which is the backpressure signal open-loop
+    arrival processes exist to provoke.  ``shard_cells`` controls how
+    many cells go to the pool per scheduling quantum (default: two
+    batches' worth of workers, matching the grid's checkpoint cadence).
+    """
+
+    def __init__(self, store=None, state_dir=None, checkpoint_dir=None,
+                 jobs=None, timeout=None, shard_cells=None,
+                 queue_limit=64, metrics=None):
+        self.store = store if store is not None else ResultStore()
+        self.state_dir = state_dir or "campaigns"
+        self.checkpoint_dir = checkpoint_dir or "checkpoints"
+        self.jobs = jobs
+        self.timeout = timeout
+        self.shard_cells = shard_cells or max(1, job_count(jobs)) * 2
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        self.queue = asyncio.PriorityQueue(maxsize=queue_limit)
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def make_job(self, campaign_id, spec):
+        """Build the :class:`CampaignJob` for ``spec``."""
+        path = os.path.join(self.state_dir, f"{campaign_id}.json")
+        return CampaignJob(campaign_id, spec, path)
+
+    async def submit(self, job):
+        """Enqueue a job (awaits when the queue is full: backpressure).
+
+        Ordering is (priority, submission sequence): lower priority
+        values run sooner, ties run in submission order.
+        """
+        self._seq += 1
+        # a resubmitted campaign id keeps its prior per-cell progress;
+        # without this, writing the pending state below would clobber
+        # the very state file the resume path reads
+        job.load_state()
+        job.status = PENDING
+        job.log.emit("campaign_submitted", cells=len(job.spec.cells()),
+                     priority=job.spec.priority)
+        job.write_state()
+        await self.queue.put((job.spec.priority, self._seq, job))
+        self.metrics.gauge("campaign.queue_depth").set(
+            self.queue.qsize())
+        return job
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def run_pending(self):
+        """Drain the queue: run every submitted job to completion."""
+        done = []
+        while not self.queue.empty():
+            _, _, job = self.queue.get_nowait()
+            self.metrics.gauge("campaign.queue_depth").set(
+                self.queue.qsize())
+            await self.run_job(job)
+            done.append(job)
+        return done
+
+    async def run_job(self, job):
+        """Execute one campaign: cache lookups, sharded misses, state.
+
+        Returns the finished job (status ``completed`` when every cell
+        is harness-ok, ``failed`` otherwise — with the per-cell
+        ok/failed/timeout/retried classification carried in the state).
+        """
+        metrics = self.metrics
+        job.load_state()  # no-op for new campaigns, resume for crashed
+        job.status = RUNNING
+        job.log.emit("campaign_started")
+        self.metrics.gauge("campaign.active").add(1)
+
+        cells = job.spec.cells()
+        digests = [cell_digest(cell) for cell in cells]
+        metrics.counter("campaign.cells_total").inc(len(cells))
+
+        pending, seen, hits_now = [], set(), 0
+        for cell, digest in zip(cells, digests):
+            if digest in seen:
+                continue  # duplicate axes derive one cell, once
+            seen.add(digest)
+            prior = job.cells.get(digest)
+            if prior is not None and prior["status"] == CELL_OK:
+                continue  # already finished in a previous attempt
+            payload = self.store.get(digest)
+            if payload is not None:
+                job.cells[digest] = {
+                    "cell": cell, "status": payload["status"],
+                    "source": SOURCE_CACHE, "retried": False,
+                    "error": payload.get("error", "")}
+                metrics.counter("campaign.cache_hits").inc()
+                hits_now += 1
+            else:
+                pending.append((cell, digest))
+        if hits_now:
+            job.log.emit("cache_hits", hits=hits_now)
+        job.write_state()
+
+        for base in range(0, len(pending), self.shard_cells):
+            shard = pending[base:base + self.shard_cells]
+            records = await asyncio.to_thread(
+                run_checkpointed, [cell for cell, _ in shard],
+                f"campaign-{job.id}", jobs=self.jobs,
+                timeout=self.timeout, out_dir=self.checkpoint_dir,
+                fallback_fresh=True)
+            for (cell, digest), record in zip(shard, records):
+                source = (SOURCE_CHECKPOINT if record.from_checkpoint
+                          else SOURCE_EXECUTED)
+                job.cells[digest] = {
+                    "cell": cell, "status": record.status,
+                    "source": source, "retried": record.retried,
+                    "error": record.error}
+                if record.status == CELL_OK:
+                    self.store.put(cell, record.status,
+                                   record.summary, record.error)
+                    metrics.counter("campaign.cells_ok").inc()
+                else:
+                    metrics.counter(
+                        "campaign.cells_" + record.status).inc()
+                if record.retried:
+                    metrics.counter("campaign.cells_retried").inc()
+            metrics.counter("campaign.shards").inc()
+            metrics.histogram("campaign.shard_cells").observe(
+                len(shard))
+            job.log.emit("shard_done", shard=base // self.shard_cells,
+                         cells=len(shard))
+            job.write_state()
+
+        counts = job.counts()
+        metrics.counter("campaign.executed").inc(counts["executed"])
+        job.status = COMPLETED if counts["ok"] == counts["total"] \
+            else FAILED
+        job.log.emit("campaign_done", status=job.status,
+                     cache_hits=counts["cache_hits"],
+                     executed=counts["executed"],
+                     failed=counts["failed"],
+                     timeout=counts[CELL_TIMEOUT])
+        job.write_state()
+        if job.status == COMPLETED:
+            # fully absorbed into the store + state; drop the grid
+            # checkpoint so results/checkpoints/ doesn't grow unbounded
+            path = checkpoint_path(f"campaign-{job.id}",
+                                   out_dir=self.checkpoint_dir)
+            if os.path.exists(path):
+                os.remove(path)
+        metrics.counter("campaign.jobs_" + job.status).inc()
+        self.metrics.gauge("campaign.active").add(-1)
+        return job

@@ -2,7 +2,7 @@
 
 from repro.workloads.base import DEFAULT, FIXED, Workload
 from repro.workloads.registry import (all_names, figure7_names, get,
-                                      repair_suite_names)
+                                      has, repair_suite_names)
 
 __all__ = ["DEFAULT", "FIXED", "Workload", "all_names", "figure7_names",
-           "get", "repair_suite_names"]
+           "get", "has", "repair_suite_names"]

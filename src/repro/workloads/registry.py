@@ -40,6 +40,15 @@ def get(name, **kwargs):
     return cls(**kwargs)
 
 
+def has(name):
+    """Whether ``name`` resolves in the registry (aliases included).
+
+    The campaign-spec validator uses this to reject unknown workloads
+    at submission time instead of deep inside a worker process.
+    """
+    return name == "leveldb-fs" or name in _REGISTRY
+
+
 def figure7_names():
     """The 35 workloads of Figures 7, 8, and 10, in paper order."""
     parsec = [c().name for c in PARSEC]

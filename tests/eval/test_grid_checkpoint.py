@@ -2,13 +2,16 @@
 
 import json
 import os
+import warnings
 
 import pytest
 
+from repro.errors import CheckpointError, ReproError
 from repro.eval import parallel
 from repro.eval.grid import (CHECKPOINT_FORMAT, cell_key,
-                             checkpoint_path, run_checkpointed,
-                             run_grid, summarize_outcome)
+                             checkpoint_path, load_checkpoint,
+                             run_checkpointed, run_grid,
+                             summarize_outcome)
 
 
 def _marker_cell(cell):
@@ -93,6 +96,73 @@ class TestResume:
         with pytest.raises(ValueError, match="unsupported"):
             run_checkpointed([{"id": "x"}], "demo", jobs=1,
                              out_dir=out_dir)
+
+
+class TestCorruptedCheckpoint:
+    """A damaged checkpoint is a typed, named error — never a bare
+    ``JSONDecodeError`` pointing at nothing."""
+
+    def damaged(self, tmp_path, body='{"format": "x", trunc'):
+        out_dir = str(tmp_path / "ckpt")
+        os.makedirs(out_dir, exist_ok=True)
+        path = checkpoint_path("demo", out_dir=out_dir)
+        open(path, "w").write(body)
+        return out_dir, path
+
+    def test_truncated_json_raises_typed_error(self, tmp_path):
+        out_dir, path = self.damaged(tmp_path)
+        with pytest.raises(CheckpointError,
+                           match="truncated or corrupted") as info:
+            load_checkpoint(path)
+        assert info.value.path == path
+        assert path in str(info.value)     # names the culprit file
+        assert isinstance(info.value, ReproError)
+        assert isinstance(info.value, ValueError)
+        assert not isinstance(info.value, json.JSONDecodeError)
+
+    def test_run_checkpointed_propagates_by_default(self, marker_pool,
+                                                    tmp_path):
+        out_dir, path = self.damaged(tmp_path)
+        with pytest.raises(CheckpointError, match="corrupted"):
+            run_checkpointed([{"id": "x"}], "demo", jobs=1,
+                             out_dir=out_dir)
+
+    def test_malformed_cells_table_rejected(self, tmp_path):
+        out_dir, path = self.damaged(
+            tmp_path, '{"format": "%s", "cells": []}'
+            % CHECKPOINT_FORMAT)
+        with pytest.raises(CheckpointError, match="cells table"):
+            load_checkpoint(path)
+
+    def test_missing_checkpoint_is_empty_not_error(self, tmp_path):
+        path = checkpoint_path("never", out_dir=str(tmp_path))
+        assert load_checkpoint(path) == {}
+
+    def test_fallback_fresh_warns_and_runs(self, marker_pool,
+                                           tmp_path):
+        out_dir, path = self.damaged(tmp_path)
+        cells = [{"id": "a"}, {"id": "b"}]
+        with pytest.warns(RuntimeWarning,
+                          match="resuming from a fresh run"):
+            records = run_checkpointed(cells, "demo", jobs=1,
+                                       out_dir=out_dir,
+                                       fallback_fresh=True)
+        assert [r.status for r in records] == ["ok", "ok"]
+        assert not any(r.from_checkpoint for r in records)
+        # the fresh run rewrote a valid checkpoint over the wreck
+        assert len(load_checkpoint(path)) == 2
+
+    def test_fallback_not_needed_no_warning(self, marker_pool,
+                                            tmp_path):
+        out_dir = str(tmp_path / "ckpt")
+        cells = [{"id": "a"}]
+        run_checkpointed(cells, "demo", jobs=1, out_dir=out_dir)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            records = run_checkpointed(cells, "demo", jobs=1,
+                                       out_dir=out_dir,
+                                       fallback_fresh=True)
+        assert records[0].from_checkpoint
 
 
 class TestGridReport:

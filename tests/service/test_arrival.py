@@ -1,0 +1,85 @@
+"""Arrival processes: registry, determinism, distribution shape."""
+
+import itertools
+
+import pytest
+
+from repro.errors import CampaignSpecError
+from repro.service import (ARRIVAL_PROCESSES, Bursty, ClosedLoop,
+                           Poisson, make_arrival)
+
+
+def take(process, n):
+    return list(itertools.islice(process.gaps(), n))
+
+
+class TestRegistry:
+    def test_builtin_processes_registered(self):
+        assert set(ARRIVAL_PROCESSES) == {"closed", "poisson",
+                                          "bursty"}
+
+    def test_make_arrival_dispatches(self):
+        arrival = make_arrival({"process": "poisson", "rate": 2.0,
+                                "seed": 7})
+        assert isinstance(arrival, Poisson)
+        assert arrival.rate == 2.0 and arrival.seed == 7
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(CampaignSpecError, match="unknown arrival"):
+            make_arrival({"process": "uniform"})
+
+    def test_missing_process_key_rejected(self):
+        with pytest.raises(CampaignSpecError, match="'process'"):
+            make_arrival({"rate": 1.0})
+
+    def test_unknown_kwargs_rejected(self):
+        with pytest.raises(CampaignSpecError, match="malformed"):
+            make_arrival({"process": "poisson", "tempo": 9})
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        assert take(Poisson(4.0, seed=3), 50) \
+            == take(Poisson(4.0, seed=3), 50)
+        assert take(Bursty(4.0, burst=3, seed=3), 50) \
+            == take(Bursty(4.0, burst=3, seed=3), 50)
+
+    def test_different_seeds_differ(self):
+        assert take(Poisson(4.0, seed=1), 20) \
+            != take(Poisson(4.0, seed=2), 20)
+
+
+class TestShape:
+    def test_poisson_mean_tracks_rate(self):
+        gaps = take(Poisson(rate=4.0, seed=0), 4000)
+        mean = sum(gaps) / len(gaps)
+        assert 0.2 < mean < 0.3          # 1/rate = 0.25, seeded draw
+
+    def test_bursty_zero_gaps_within_burst(self):
+        gaps = take(Bursty(rate=4.0, burst=4, seed=0), 16)
+        # pattern: gap, 0, 0, 0, gap, 0, 0, 0, ...
+        assert all(gaps[i] == 0.0 for i in range(16) if i % 4 != 0)
+        assert all(gaps[i] > 0.0 for i in range(0, 16, 4))
+
+    def test_bursty_preserves_average_rate(self):
+        gaps = take(Bursty(rate=4.0, burst=4, seed=1), 4000)
+        mean = sum(gaps) / len(gaps)
+        assert 0.2 < mean < 0.3          # same offered load as Poisson
+
+    def test_closed_loop_constant_think(self):
+        assert take(ClosedLoop(clients=2, think=0.5), 5) == [0.5] * 5
+        assert ClosedLoop().closed and not Poisson().closed
+
+    def test_times_accumulate(self):
+        times = Poisson(rate=2.0, seed=5).times(10)
+        assert times == sorted(times) and len(times) == 10
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(CampaignSpecError):
+            Poisson(rate=0)
+        with pytest.raises(CampaignSpecError):
+            Bursty(rate=1.0, burst=0)
+        with pytest.raises(CampaignSpecError):
+            ClosedLoop(clients=0)
+        with pytest.raises(CampaignSpecError):
+            ClosedLoop(think=-1)

@@ -1,0 +1,204 @@
+"""Scheduler: ordering, backpressure, cache reuse, state, metrics.
+
+Uses the grid harness' fake-runner seam (monkeypatching
+``repro.eval.parallel._run_cell``) so campaigns execute instantly and
+deterministically; real-workload end-to-end coverage lives in
+``test_service_e2e.py``.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.eval import parallel
+from repro.eval.grid import checkpoint_path
+from repro.service import (CAMPAIGN_FORMAT, COMPLETED, FAILED,
+                           CampaignScheduler, CampaignSpec,
+                           ResultStore, cell_digest)
+
+
+def ok_runner(cell):
+    return dict(cell, ran=True)
+
+
+def flaky_runner(cell):
+    """Fails every histogramfs cell; everything else succeeds."""
+    if cell["name"] == "histogramfs":
+        raise RuntimeError("injected failure")
+    return dict(cell, ran=True)
+
+
+@pytest.fixture
+def ok_pool(monkeypatch):
+    monkeypatch.setattr(parallel, "_run_cell", ok_runner)
+
+
+def make_scheduler(tmp_path, **kwargs):
+    kwargs.setdefault("jobs", 1)
+    return CampaignScheduler(
+        store=ResultStore(str(tmp_path / "store")),
+        state_dir=str(tmp_path / "campaigns"),
+        checkpoint_dir=str(tmp_path / "ckpt"), **kwargs)
+
+
+def grid_spec(**overrides):
+    kwargs = dict(workloads=("histogram", "histogramfs"),
+                  systems=("pthreads",), scale=0.05)
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def run_one(scheduler, job):
+    async def _run():
+        await scheduler.submit(job)
+        await scheduler.run_pending()
+    asyncio.run(_run())
+    return job
+
+
+class TestRunJob:
+    def test_executes_caches_and_persists(self, ok_pool, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        job = scheduler.make_job("c1", grid_spec())
+        run_one(scheduler, job)
+
+        assert job.status == COMPLETED
+        counts = job.counts()
+        assert counts["total"] == 2 and counts["ok"] == 2
+        assert counts["executed"] == 2 and counts["cache_hits"] == 0
+        for cell in job.spec.cells():
+            assert scheduler.store.get(cell_digest(cell)) is not None
+
+        state = json.load(open(job.state_path))
+        assert state["format"] == CAMPAIGN_FORMAT
+        assert state["status"] == COMPLETED
+        kinds = [e["kind"] for e in state["events"]["events"]]
+        assert kinds[0] == "campaign_submitted"
+        assert kinds[-1] == "campaign_done"
+        assert "shard_done" in kinds
+
+    def test_resubmission_is_pure_cache(self, ok_pool, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        run_one(scheduler, scheduler.make_job("c1", grid_spec()))
+        second = run_one(scheduler,
+                         scheduler.make_job("c2", grid_spec()))
+
+        assert second.status == COMPLETED
+        counts = second.counts()
+        assert counts["cache_hits"] == counts["total"] == 2
+        assert counts["executed"] == 0
+        assert second.cache_hit_fraction() == 1.0
+
+    def test_overlap_hits_cache_partially(self, ok_pool, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        run_one(scheduler, scheduler.make_job("c1", grid_spec()))
+        wide = grid_spec(workloads=("histogram", "histogramfs",
+                                    "lreg"))
+        second = run_one(scheduler, scheduler.make_job("c2", wide))
+        counts = second.counts()
+        assert counts["cache_hits"] == 2 and counts["executed"] == 1
+
+    def test_duplicate_axes_derive_one_cell(self, ok_pool, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        spec = grid_spec(workloads=("histogram", "histogram"))
+        job = run_one(scheduler, scheduler.make_job("dup", spec))
+        assert len(spec.cells()) == 2           # cross product
+        assert job.counts()["total"] == 1       # one digest, run once
+
+    def test_failed_cell_fails_campaign(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(parallel, "_run_cell", flaky_runner)
+        scheduler = make_scheduler(tmp_path)
+        job = run_one(scheduler, scheduler.make_job("f1", grid_spec()))
+
+        assert job.status == FAILED
+        counts = job.counts()
+        assert counts["ok"] == 1 and counts["failed"] == 1
+        ok_cell, bad_cell = job.spec.cells()
+        assert scheduler.store.get(cell_digest(ok_cell)) is not None
+        assert scheduler.store.get(cell_digest(bad_cell)) is None
+
+    def test_resume_reruns_only_unfinished(self, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setattr(parallel, "_run_cell", flaky_runner)
+        scheduler = make_scheduler(tmp_path)
+        first = run_one(scheduler,
+                        scheduler.make_job("r1", grid_spec()))
+        assert first.status == FAILED
+
+        # service restarts with the failure's cause gone: the same
+        # campaign id resumes from its state file, the previously-ok
+        # cell is not re-executed
+        monkeypatch.setattr(parallel, "_run_cell", ok_runner)
+        second = run_one(scheduler,
+                         scheduler.make_job("r1", grid_spec()))
+        assert second.status == COMPLETED
+        counts = second.counts()
+        assert counts["ok"] == counts["total"] == 2
+        # the ok cell kept its original executed record; only the
+        # failed one went back to the pool
+        statuses = {entry["cell"]["name"]: entry["source"]
+                    for entry in second.cells.values()}
+        assert statuses["histogram"] == "executed"
+
+    def test_completed_campaign_drops_checkpoint(self, ok_pool,
+                                                 tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        job = run_one(scheduler, scheduler.make_job("ck", grid_spec()))
+        assert job.status == COMPLETED
+        path = checkpoint_path("campaign-ck",
+                               out_dir=scheduler.checkpoint_dir)
+        assert not os.path.exists(path)
+
+
+class TestQueue:
+    def test_priority_then_submission_order(self, ok_pool, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+
+        async def _run():
+            for name, priority in (("late", 5), ("urgent", 0),
+                                   ("late2", 5)):
+                spec = grid_spec(workloads=("histogram",),
+                                 priority=priority)
+                await scheduler.submit(scheduler.make_job(name, spec))
+            return await scheduler.run_pending()
+
+        done = asyncio.run(_run())
+        assert [job.id for job in done] == ["urgent", "late", "late2"]
+
+    def test_full_queue_applies_backpressure(self, ok_pool, tmp_path):
+        scheduler = make_scheduler(tmp_path, queue_limit=1)
+
+        async def _run():
+            spec = grid_spec(workloads=("histogram",))
+            await scheduler.submit(scheduler.make_job("a", spec))
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    scheduler.submit(scheduler.make_job("b", spec)),
+                    timeout=0.05)
+            # draining the queue releases the backpressure
+            await scheduler.run_pending()
+            await asyncio.wait_for(
+                scheduler.submit(scheduler.make_job("c", spec)),
+                timeout=1.0)
+
+        asyncio.run(_run())
+
+
+class TestMetrics:
+    def test_counters_track_the_campaign(self, ok_pool, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        run_one(scheduler, scheduler.make_job("m1", grid_spec()))
+        run_one(scheduler, scheduler.make_job("m2", grid_spec()))
+
+        snap = scheduler.metrics.snapshot()
+        counters = snap["counters"]
+        assert counters["campaign.cells_total"] == 4
+        assert counters["campaign.cells_ok"] == 2
+        assert counters["campaign.cache_hits"] == 2
+        assert counters["campaign.executed"] == 2
+        assert counters["campaign.jobs_completed"] == 2
+        assert snap["gauges"]["campaign.queue_depth"] == 0
+        assert snap["gauges"]["campaign.active"] == 0
+        assert snap["histograms"]["campaign.shard_cells"]["count"] == 1

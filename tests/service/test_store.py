@@ -1,0 +1,104 @@
+"""Content-addressed result store: digests, puts, misses, atomicity."""
+
+import json
+import os
+
+from repro.eval.parallel import CELL_FAILED, CELL_OK, CELL_TIMEOUT
+from repro.service import (STORE_FORMAT, ResultStore, canonical_form,
+                           cell_digest, payload_bytes, result_payload)
+
+CELL = {"name": "histogram", "system": "pthreads", "scale": 0.05}
+
+
+def store_in(tmp_path):
+    return ResultStore(str(tmp_path / "store"))
+
+
+class TestDigest:
+    def test_dict_order_invariant(self):
+        a = {"name": "h", "system": "p", "config": {"a": 1, "b": 2}}
+        b = {"config": {"b": 2, "a": 1}, "system": "p", "name": "h"}
+        assert cell_digest(a) == cell_digest(b)
+
+    def test_value_sensitivity(self):
+        assert cell_digest(CELL) != cell_digest(dict(CELL, scale=0.1))
+
+    def test_engine_version_folded_in(self):
+        assert '"engine"' in canonical_form(CELL)
+
+    def test_tmiconfig_dataclass_normalizes_like_its_dict(self):
+        from repro.core.config import TmiConfig
+        from dataclasses import asdict
+        config = TmiConfig(period=50)
+        as_obj = cell_digest(dict(CELL, config=config))
+        as_dict = cell_digest(dict(CELL, config=asdict(config)))
+        assert as_obj == as_dict
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path):
+        store = store_in(tmp_path)
+        summary = {"status": "ok", "cycles": 123}
+        path = store.put(CELL, CELL_OK, summary)
+        assert path and os.path.exists(path)
+        payload = store.get(cell_digest(CELL))
+        assert payload == result_payload(CELL_OK, summary)
+
+    def test_miss_returns_none(self, tmp_path):
+        store = store_in(tmp_path)
+        assert store.get(cell_digest(CELL)) is None
+        assert store.misses == 1 and store.hits == 0
+
+    def test_only_ok_cells_cached(self, tmp_path):
+        store = store_in(tmp_path)
+        assert store.put(CELL, CELL_FAILED, None, "boom") is None
+        assert store.put(CELL, CELL_TIMEOUT, None, "slow") is None
+        assert store.get(cell_digest(CELL)) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = store_in(tmp_path)
+        path = store.put(CELL, CELL_OK, {"cycles": 1})
+        open(path, "w").write('{"format": "repro-cell-result/1", tru')
+        assert store.get(cell_digest(CELL)) is None
+        # and a re-put repairs it
+        store.put(CELL, CELL_OK, {"cycles": 1})
+        assert store.get(cell_digest(CELL))["summary"] == {"cycles": 1}
+
+    def test_wrong_format_tag_is_a_miss(self, tmp_path):
+        store = store_in(tmp_path)
+        path = store.put(CELL, CELL_OK, {"cycles": 1})
+        entry = json.load(open(path))
+        entry["format"] = "other/1"
+        json.dump(entry, open(path, "w"))
+        assert store.get(cell_digest(CELL)) is None
+
+    def test_entry_carries_canonical_key(self, tmp_path):
+        store = store_in(tmp_path)
+        path = store.put(CELL, CELL_OK, {"cycles": 1})
+        entry = json.load(open(path))
+        assert entry["format"] == STORE_FORMAT
+        assert entry["digest"] == cell_digest(CELL)
+        assert entry["key"] == json.loads(canonical_form(CELL))
+
+    def test_sharded_layout_and_stats(self, tmp_path):
+        store = store_in(tmp_path)
+        store.put(CELL, CELL_OK, {})
+        store.put(dict(CELL, scale=0.1), CELL_OK, {})
+        digest = cell_digest(CELL)
+        assert store.path(digest).startswith(
+            os.path.join(store.root, digest[:2]))
+        assert store.stats()["entries"] == 2
+
+    def test_no_tmp_droppings(self, tmp_path):
+        store = store_in(tmp_path)
+        store.put(CELL, CELL_OK, {})
+        leftovers = [f for _, _, files in os.walk(store.root)
+                     for f in files if f.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestPayloadBytes:
+    def test_canonical_and_order_free(self):
+        a = payload_bytes({"status": "ok", "summary": {"x": 1}})
+        b = payload_bytes({"summary": {"x": 1}, "status": "ok"})
+        assert a == b and b"\n" not in a
