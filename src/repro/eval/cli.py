@@ -322,8 +322,14 @@ def _service_command(args):
             print(_campaign_summary(job.to_dict()))
             return 0 if job.status == "completed" else 1
         client = ServiceClient(root=args.root)
-        campaign_id = client.submit(spec,
-                                    campaign_id=args.campaign_id)
+        try:
+            campaign_id = client.submit(
+                spec, campaign_id=args.campaign_id)
+        except FileExistsError:
+            print(f"submit: campaign id {args.campaign_id!r} already "
+                  f"has a spec waiting in the inbox",
+                  file=sys.stderr)
+            return 2
         print(f"submitted {campaign_id} "
               f"({len(spec.cells())} cells, kind={spec.kind}); "
               f"run `serve` against the same root to execute")

@@ -29,15 +29,15 @@ class ServiceClient:
     def submit(self, spec, campaign_id=None):
         """Spool ``spec`` into the service inbox; returns the id.
 
-        The spec file is written to a temp name and renamed into
-        place, so a polling service never reads a half-written spec.
+        The spec file is written to a temp name and atomically linked
+        into place, so a polling service never reads a half-written
+        spec and two clients racing on the same spec digest can never
+        overwrite each other's submission (each gets its own ordinal;
+        an explicit duplicate ``campaign_id`` raises
+        ``FileExistsError`` instead of clobbering).
         """
-        campaign_id = campaign_id \
-            or self._service.new_campaign_id(spec)
-        path = os.path.join(self._service.inbox_dir,
-                            f"{campaign_id}.json")
-        spec.save(path)
-        return campaign_id
+        return self._service.reserve_campaign_id(
+            spec, campaign_id=campaign_id)
 
     def status(self, campaign_id):
         """The campaign's state document, or None when unknown."""

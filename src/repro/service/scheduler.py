@@ -137,11 +137,17 @@ class CampaignJob:
 class CampaignScheduler:
     """Shards campaign cells across the hardened worker pools.
 
-    ``queue_limit`` bounds the submission queue — a full queue makes
-    ``submit`` await, which is the backpressure signal open-loop
-    arrival processes exist to provoke.  ``shard_cells`` controls how
-    many cells go to the pool per scheduling quantum (default: two
-    batches' worth of workers, matching the grid's checkpoint cadence).
+    ``queue_limit`` bounds the submission queue.  Submission and
+    draining run in one asyncio task (``serve``/``submit_stream`` call
+    them sequentially), so a full queue must not block ``submit`` —
+    there would be no concurrent consumer to unblock it.  Instead, a
+    full queue makes ``submit`` drain the highest-priority queued job
+    inline before enqueueing: the submitter pays the drain latency,
+    which is the backpressure signal open-loop arrival processes exist
+    to provoke (visible as the ``campaign.backpressure`` counter).
+    ``shard_cells`` controls how many cells go to the pool per
+    scheduling quantum (default: two batches' worth of workers,
+    matching the grid's checkpoint cadence).
     """
 
     def __init__(self, store=None, state_dir=None, checkpoint_dir=None,
@@ -155,8 +161,33 @@ class CampaignScheduler:
         self.shard_cells = shard_cells or max(1, job_count(jobs)) * 2
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry()
-        self.queue = asyncio.PriorityQueue(maxsize=queue_limit)
+        self.queue_limit = queue_limit
+        # created lazily inside a running loop (see _live_queue): a
+        # queue built here would bind whatever loop exists at
+        # construction time, not the one submit/run_pending run under
+        self._queue = None
+        self._queue_loop = None
         self._seq = 0
+        #: jobs a full-queue submit drained inline, not yet reported
+        #: through run_pending
+        self._drained = []
+
+    def _live_queue(self):
+        """The submission queue, created in the running event loop.
+
+        Re-created (when drained empty) if the scheduler is reused
+        under a different loop — e.g. one service driving several
+        ``asyncio.run`` calls — so no queue ever carries state bound
+        to a dead loop.
+        """
+        loop = asyncio.get_running_loop()
+        if self._queue is None \
+                or (self._queue_loop is not loop
+                    and self._queue.empty()):
+            self._queue = asyncio.PriorityQueue(
+                maxsize=self.queue_limit)
+            self._queue_loop = loop
+        return self._queue
 
     # ------------------------------------------------------------------
     # submission
@@ -167,11 +198,16 @@ class CampaignScheduler:
         return CampaignJob(campaign_id, spec, path)
 
     async def submit(self, job):
-        """Enqueue a job (awaits when the queue is full: backpressure).
+        """Enqueue a job; a full queue drains inline (backpressure).
 
         Ordering is (priority, submission sequence): lower priority
-        values run sooner, ties run in submission order.
+        values run sooner, ties run in submission order.  There is no
+        consumer task running concurrently with submission, so a
+        blocking put on a full queue would deadlock — instead the
+        submitter runs the highest-priority queued job to completion
+        to free a slot, and that latency is the backpressure.
         """
+        queue = self._live_queue()
         self._seq += 1
         # a resubmitted campaign id keeps its prior per-cell progress;
         # without this, writing the pending state below would clobber
@@ -181,24 +217,45 @@ class CampaignScheduler:
         job.log.emit("campaign_submitted", cells=len(job.spec.cells()),
                      priority=job.spec.priority)
         job.write_state()
-        await self.queue.put((job.spec.priority, self._seq, job))
-        self.metrics.gauge("campaign.queue_depth").set(
-            self.queue.qsize())
+        item = (job.spec.priority, self._seq, job)
+        while True:
+            try:
+                queue.put_nowait(item)
+                break
+            except asyncio.QueueFull:
+                self.metrics.counter("campaign.backpressure").inc()
+                drained = await self.run_next()
+                if drained is not None:
+                    self._drained.append(drained)
+        self.metrics.gauge("campaign.queue_depth").set(queue.qsize())
         return job
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    async def run_next(self):
+        """Run the highest-priority queued job; None when queue empty."""
+        queue = self._live_queue()
+        if queue.empty():
+            return None
+        _, _, job = queue.get_nowait()
+        self.metrics.gauge("campaign.queue_depth").set(queue.qsize())
+        await self.run_job(job)
+        return job
+
     async def run_pending(self):
-        """Drain the queue: run every submitted job to completion."""
-        done = []
-        while not self.queue.empty():
-            _, _, job = self.queue.get_nowait()
-            self.metrics.gauge("campaign.queue_depth").set(
-                self.queue.qsize())
-            await self.run_job(job)
+        """Drain the queue: run every submitted job to completion.
+
+        Returns every job finished since the previous call — including
+        jobs a full-queue ``submit`` already drained inline, so
+        callers like ``serve(once=True)`` report the complete set.
+        """
+        done, self._drained = self._drained, []
+        while True:
+            job = await self.run_next()
+            if job is None:
+                return done
             done.append(job)
-        return done
 
     async def run_job(self, job):
         """Execute one campaign: cache lookups, sharded misses, state.

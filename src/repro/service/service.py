@@ -19,6 +19,7 @@ a killed service picks up exactly where its checkpoints left off.
 """
 
 import asyncio
+import itertools
 import os
 
 from repro.eval.report import results_dir
@@ -30,6 +31,10 @@ from repro.service.spec import CampaignSpec
 from repro.service.store import ResultStore, cell_digest
 
 __all__ = ["CampaignService", "CAMPAIGN_FORMAT"]
+
+#: Per-process sequence for reservation temp names — unique even when
+#: two reservations overlap in one process (``id()`` can be reused).
+_RESERVE_SEQ = itertools.count(1)
 
 
 class CampaignService:
@@ -57,25 +62,70 @@ class CampaignService:
     # ------------------------------------------------------------------
     # identity
     # ------------------------------------------------------------------
+    def _campaign_id_taken(self, campaign_id):
+        """Whether any artifact already claims ``campaign_id``."""
+        paths = (
+            os.path.join(self.campaigns_dir, f"{campaign_id}.json"),
+            os.path.join(self.inbox_dir, f"{campaign_id}.json"),
+            os.path.join(self.inbox_dir,
+                         f"{campaign_id}.json.accepted"),
+            os.path.join(self.inbox_dir,
+                         f"{campaign_id}.json.rejected"))
+        return any(os.path.exists(path) for path in paths)
+
     def new_campaign_id(self, spec):
         """A fresh campaign id: spec name/digest plus a run ordinal.
 
         Resubmitting an identical spec gets a *new* campaign (that's
         the point — it completes from cache), so the ordinal suffix
-        disambiguates repeats.
+        disambiguates repeats.  This is a check, not a reservation —
+        concurrent clients racing on the same spec must go through
+        :meth:`reserve_campaign_id`, which claims the id atomically.
         """
         stem = f"{spec.name or spec.kind}-{spec.digest()}"
         ordinal = 1
         while True:
             campaign_id = f"{stem}-{ordinal}"
-            taken = (
-                os.path.exists(os.path.join(
-                    self.campaigns_dir, f"{campaign_id}.json"))
-                or os.path.exists(os.path.join(
-                    self.inbox_dir, f"{campaign_id}.json")))
-            if not taken:
+            if not self._campaign_id_taken(campaign_id):
                 return campaign_id
             ordinal += 1
+
+    def reserve_campaign_id(self, spec, campaign_id=None):
+        """Atomically claim an inbox file for ``spec``; returns the id.
+
+        The spec is written to a private temp file and hard-linked to
+        its inbox name — ``link(2)`` fails instead of overwriting when
+        the name already exists, so two clients racing on the same
+        spec digest end up with distinct ordinals and neither
+        submission is silently lost.  With an explicit ``campaign_id``
+        an existing submission under that id raises
+        ``FileExistsError`` rather than clobbering it.
+        """
+        os.makedirs(self.inbox_dir, exist_ok=True)
+        tmp = os.path.join(
+            self.inbox_dir,
+            f".reserve-{os.getpid()}-{next(_RESERVE_SEQ)}.tmp")
+        spec.save(tmp)
+        try:
+            if campaign_id is not None:
+                os.link(tmp, os.path.join(self.inbox_dir,
+                                          f"{campaign_id}.json"))
+                return campaign_id
+            stem = f"{spec.name or spec.kind}-{spec.digest()}"
+            ordinal = 1
+            while True:
+                campaign_id = f"{stem}-{ordinal}"
+                ordinal += 1
+                if self._campaign_id_taken(campaign_id):
+                    continue
+                try:
+                    os.link(tmp, os.path.join(
+                        self.inbox_dir, f"{campaign_id}.json"))
+                    return campaign_id
+                except FileExistsError:
+                    continue  # another client won this ordinal
+        finally:
+            os.unlink(tmp)
 
     # ------------------------------------------------------------------
     # submission

@@ -121,9 +121,14 @@ class CampaignSpec:
             raise CampaignSpecError(f"bad scale {self.scale!r}")
         if not isinstance(self.priority, int):
             raise CampaignSpecError(f"bad priority {self.priority!r}")
-        if self.arrival is not None and "process" not in self.arrival:
-            raise CampaignSpecError(
-                "arrival spec needs a 'process' key")
+        if self.arrival is not None:
+            if not isinstance(self.arrival, dict):
+                raise CampaignSpecError(
+                    f"arrival spec must be a dict "
+                    f"(got {self.arrival!r})")
+            if "process" not in self.arrival:
+                raise CampaignSpecError(
+                    "arrival spec needs a 'process' key")
 
     # ------------------------------------------------------------------
     # expansion
@@ -208,6 +213,9 @@ class CampaignSpec:
         except json.JSONDecodeError as exc:
             raise CampaignSpecError(
                 f"spec {path}: corrupted JSON ({exc})") from exc
+        except OSError as exc:
+            raise CampaignSpecError(
+                f"spec {path}: unreadable ({exc})") from exc
         return cls.from_dict(data)
 
     def digest(self, length=10):

@@ -168,22 +168,61 @@ class TestQueue:
         assert [job.id for job in done] == ["urgent", "late", "late2"]
 
     def test_full_queue_applies_backpressure(self, ok_pool, tmp_path):
+        """A full queue drains inline: submit and drain share one
+        task, so a blocking put would deadlock — instead the second
+        submit runs the queued job before its own enqueue proceeds."""
         scheduler = make_scheduler(tmp_path, queue_limit=1)
 
         async def _run():
             spec = grid_spec(workloads=("histogram",))
-            await scheduler.submit(scheduler.make_job("a", spec))
-            with pytest.raises(asyncio.TimeoutError):
-                await asyncio.wait_for(
-                    scheduler.submit(scheduler.make_job("b", spec)),
-                    timeout=0.05)
-            # draining the queue releases the backpressure
-            await scheduler.run_pending()
+            first = scheduler.make_job("a", spec)
+            await scheduler.submit(first)
             await asyncio.wait_for(
-                scheduler.submit(scheduler.make_job("c", spec)),
-                timeout=1.0)
+                scheduler.submit(scheduler.make_job("b", spec)),
+                timeout=30.0)
+            # submitting "b" paid by draining "a" to completion
+            assert first.status == COMPLETED
+            # the inline-drained job is still reported
+            done = await scheduler.run_pending()
+            assert [job.id for job in done] == ["a", "b"]
 
         asyncio.run(_run())
+        counters = scheduler.metrics.snapshot()["counters"]
+        assert counters["campaign.backpressure"] == 1
+
+    def test_over_limit_submission_burst_never_hangs(self, ok_pool,
+                                                     tmp_path):
+        """Regression: >queue_limit submissions from one task used to
+        block forever on the 65th put (no concurrent consumer)."""
+        scheduler = make_scheduler(tmp_path, queue_limit=2)
+
+        async def _run():
+            spec = grid_spec(workloads=("histogram",))
+            for index in range(5):
+                await scheduler.submit(
+                    scheduler.make_job(f"burst-{index}", spec))
+            return await scheduler.run_pending()
+
+        done = asyncio.run(asyncio.wait_for(_run(), timeout=60.0))
+        # inline drains finished the early jobs, run_pending the rest
+        # — and run_pending reports them all
+        assert sorted(job.id for job in done) \
+            == [f"burst-{index}" for index in range(5)]
+        for index in range(5):
+            state = json.load(open(os.path.join(
+                str(tmp_path / "campaigns"), f"burst-{index}.json")))
+            assert state["status"] == COMPLETED, f"burst-{index}"
+
+    def test_scheduler_reusable_across_event_loops(self, ok_pool,
+                                                   tmp_path):
+        """One scheduler across several asyncio.run calls: the lazy
+        queue re-binds to each fresh loop instead of hanging on a
+        dead one."""
+        scheduler = make_scheduler(tmp_path, queue_limit=1)
+        for index in range(3):
+            job = run_one(scheduler, scheduler.make_job(
+                f"loop-{index}", grid_spec(workloads=("histogram",))))
+            assert job.status == COMPLETED
 
 
 class TestMetrics:

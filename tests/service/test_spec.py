@@ -54,6 +54,14 @@ class TestValidation:
         with pytest.raises(CampaignSpecError, match="process"):
             grid_spec(arrival={"rate": 2.0})
 
+    def test_arrival_must_be_a_dict(self):
+        # a non-container used to escape as TypeError; a string
+        # containing "process" used to pass validation entirely
+        with pytest.raises(CampaignSpecError, match="must be a dict"):
+            grid_spec(arrival=3)
+        with pytest.raises(CampaignSpecError, match="must be a dict"):
+            grid_spec(arrival="process: poisson")
+
     def test_error_is_value_error(self):
         # argparse/except ValueError call sites keep working
         with pytest.raises(ValueError):
@@ -126,6 +134,13 @@ class TestRoundTrip:
         path.write_text('{"format": "repro-campaign-spec/1", trunc')
         with pytest.raises(CampaignSpecError, match="corrupted"):
             CampaignSpec.load(str(path))
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        # the documented contract is typed errors on bad input — a
+        # missing path must not leak a raw FileNotFoundError
+        missing = str(tmp_path / "nope.json")
+        with pytest.raises(CampaignSpecError, match="nope.json"):
+            CampaignSpec.load(missing)
 
     def test_digest_stable_and_distinct(self):
         assert grid_spec().digest() == grid_spec().digest()
