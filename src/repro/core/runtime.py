@@ -397,6 +397,14 @@ class TmiRuntime(RuntimeHooks):
         out.update(self.stats.report(engine.costs))
         out["consistency_flushes"] = self.policy.flushes
         out["relaxed_fast_path"] = self.policy.relaxed_fast_path
+        machine = engine.machine
+        if machine.topology.sockets > 1:
+            # socket-aware coherence the runtime is paying for: every
+            # cross-socket HITM it samples costs an extra QPI hop, which
+            # changes the repair-vs-placement tradeoff (EXPERIMENTS.md)
+            out["hitm_cross_socket"] = \
+                machine.directory.hitm_cross_socket_count
+            out["qpi_hops"] = machine.directory.qpi_hops
         if self.perf is not None:
             out["perf_events_seen"] = self.perf.events_seen
             out["perf_records"] = self.perf.records_made

@@ -45,11 +45,14 @@ class Engine:
 
     def __init__(self, program, runtime, machine=None, n_cores=None,
                  costs=None, max_cycles=200_000_000_000, policy=None,
-                 vector=None):
+                 vector=None, placement=None):
         from repro.sim.machine import Machine
         if n_cores is None:
             n_cores = program.nthreads + 2
         self.machine = machine or Machine(n_cores=n_cores, costs=costs)
+        #: Thread-placement policy (repro.mapping); None keeps the
+        #: historical round-robin formula in :meth:`_create_thread`.
+        self.placement = placement
         self.costs = self.machine.costs
         self.program = program
         self.runtime = runtime
@@ -302,7 +305,10 @@ class Engine:
     def _create_thread(self, body, name, process):
         tid = self._next_tid
         self._next_tid += 1
-        core = tid % (self.machine.n_cores - 1)   # last core is reserved
+        if self.placement is not None:
+            core = self.placement.core_for(tid)
+        else:
+            core = tid % (self.machine.n_cores - 1)   # last core reserved
         thread = SimThread(tid, name, core, process, body)
         ctx = ThreadCtx(self, thread, self.program.binary)
         thread.gen = body(ctx)

@@ -96,6 +96,28 @@ class VectorExecutor:
         observer = engine._observer
         self._switch = (observer.on_vector_switch
                         if observer is not None else None)
+        # NUMA decline: on multi-socket machines a fast-owned line
+        # homed on a remote socket is left to the serial path, which
+        # charges the socket-aware costs; on single-socket machines
+        # every probe below is a single None test.
+        machine = engine.machine
+        self._numa_active = machine.topology.sockets > 1
+        self._home_nodes = (machine.physmem._home_nodes
+                            if self._numa_active else {})
+        self._socket_map = (machine.topology.socket_map()
+                            if self._numa_active else ())
+        #: Fast-path probes declined because the line was remote-homed.
+        self.numa_declines = 0
+
+    def _numa_remote(self, line_pa, core):
+        """Whether ``line_pa`` is homed on a socket other than
+        ``core``'s (multi-socket machines only; unhomed lines are
+        local by definition — they have never been filled)."""
+        home = self._home_nodes.get(line_pa >> 12)
+        if home is not None and home != self._socket_map[core]:
+            self.numa_declines += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     def lookup(self, op):
@@ -132,8 +154,11 @@ class VectorExecutor:
         if entry is None:
             return None
         fast = engine.machine.directory._fast
-        owner = fast.get((addr + entry[0]) & ~63)
+        line_pa = (addr + entry[0]) & ~63
+        owner = fast.get(line_pa)
         if owner is None or owner[0] != core:
+            return None
+        if self._numa_active and self._numa_remote(line_pa, core):
             return None
 
         # closed-form break bounds: smallest executed count after which
@@ -560,8 +585,12 @@ class VectorExecutor:
         entry = tcache.get(va >> 12)
         if entry is None or va + width > entry[1]:
             return False
-        owner = fast.get((va + entry[0]) & ~63)
-        return owner is not None and owner[0] == core
+        line_pa = (va + entry[0]) & ~63
+        owner = fast.get(line_pa)
+        if owner is None or owner[0] != core:
+            return False
+        return not (self._numa_active
+                    and self._numa_remote(line_pa, core))
 
     def _apply_seq(self, thread, op, cls, nphases, n, rt):
         """Apply ``n`` sub-ops of ``thread``'s sequence starting at
@@ -701,6 +730,8 @@ class VectorExecutor:
                 line_pa = (int(line_ids[li]) << 6) + delta
                 owner = fast.get(line_pa)
                 if owner is None or owner[0] != core:
+                    break
+                if self._numa_active and self._numa_remote(line_pa, core):
                     break
                 seg_end = (line_run_end if line_run_end < page_cap
                            else page_cap)

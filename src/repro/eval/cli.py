@@ -36,6 +36,8 @@ import sys
 from repro.eval import experiments
 from repro.eval.runner import run_workload
 from repro.eval.systems import SYSTEM_NAMES
+from repro.mapping import PLACEMENT_NAMES
+from repro.sim.machine import PAGE_POLICIES
 from repro.workloads import all_names
 
 #: Experiments exposed on the command line.
@@ -54,6 +56,7 @@ EXPERIMENTS = {
     "ablation-code-centric": experiments.ablation_code_centric,
     "lint-accuracy": experiments.lint_accuracy,
     "repair-compare": experiments.repair_compare,
+    "placement-repair": experiments.placement_repair,
 }
 
 #: Experiments whose signature takes no scale.
@@ -93,6 +96,17 @@ def build_parser():
                      help="force the pure-serial interpreter (the "
                           "vector core is on by default when eligible; "
                           "results are bit-identical either way)")
+    run.add_argument("--sockets", type=int, default=None,
+                     help="simulate a multi-socket NUMA machine with "
+                          "this many sockets (see docs/HARDWARE.md)")
+    run.add_argument("--placement", default=None,
+                     choices=sorted(PLACEMENT_NAMES),
+                     help="thread-placement policy (implies a "
+                          "topology-aware machine)")
+    run.add_argument("--pages", default=None,
+                     choices=sorted(PAGE_POLICIES),
+                     help="page-placement policy for multi-socket "
+                          "machines (default first-touch)")
 
     trace = sub.add_parser(
         "trace", help="run one cell with the tracer attached and "
@@ -446,7 +460,11 @@ def main(argv=None):
                                scale=args.scale,
                                sanitize=args.sanitize,
                                profile=args.profile,
-                               vector=False if args.no_vector else None)
+                               vector=False if args.no_vector else None,
+                               sockets=args.sockets,
+                               placement=args.placement,
+                               pages=args.pages,
+                               collect_metrics=args.sockets is not None)
         print(f"{args.workload} under {args.system}: {outcome.status}")
         if outcome.result is not None:
             result = outcome.result
@@ -457,6 +475,14 @@ def main(argv=None):
                   f"stores {result.hitm_stores})")
             print(f"  sync ops: {result.sync_ops}   "
                   f"data ops: {result.data_ops}")
+            if outcome.metrics is not None:
+                counters = outcome.metrics["counters"]
+                print(f"  NUMA    : "
+                      f"{counters.get('machine.hitm.cross_socket', 0)} "
+                      f"cross-socket HITM, "
+                      f"{counters.get('machine.qpi.hops', 0)} QPI hops, "
+                      f"{counters.get('machine.numa.remote_fills', 0)} "
+                      f"remote fills")
             if result.runtime_report:
                 print(f"  report  : {result.runtime_report}")
         if outcome.detail:

@@ -507,6 +507,118 @@ def lint_accuracy(scale=0.1, workloads=None):
 # ----------------------------------------------------------------------
 # Repair-compare: static repair planner vs TMI's dynamic isolation
 # ----------------------------------------------------------------------
+def placement_repair(scale=0.3, workloads=None, sockets=2,
+                     placements=("compact", "scatter", "sharing-aware"),
+                     pages=("first-touch", "interleave")):
+    """Placement x page-policy x repair grid on a multi-socket machine.
+
+    The NUMA extension of the Fig 10 axis (see ``docs/HARDWARE.md``):
+    every cell runs on a ``sockets``-socket topology and the grid
+    crosses thread placement (compact / scatter / sharing-aware), page
+    placement (first-touch / interleave), and repair (pthreads vs the
+    static repair planner).  The questions it answers:
+
+    - does sharing-aware placement cut *inter-socket* HITM traffic vs
+      compact (the mapping-as-repair-alternative claim), and
+    - does repair still dominate, since placement can only move false
+      sharing on-socket, not remove it.
+
+    The state-identity gate (``data["state_identical_all"]``) checks
+    that every placement/page combination leaves each workload's final
+    state bit-identical — mapping policies must never change program
+    semantics, only costs.
+    """
+    names = (list(workloads) if workloads
+             else ["clique-counters", "histogram", "histogramfs"])
+    systems = ["pthreads", "static-repaired"]
+    combos = [(name, system, placement, page)
+              for name in names for system in systems
+              for placement in placements for page in pages]
+    outcomes = run_cells(
+        [dict(name=name, system=system, scale=scale, sockets=sockets,
+              placement=placement, pages=page, collect_metrics=True,
+              collect_state=True)
+         for name, system, placement, page in combos])
+
+    def cross_hitm(outcome):
+        if outcome.metrics is None:
+            return None
+        return outcome.metrics["counters"].get(
+            "machine.hitm.cross_socket", 0)
+
+    grid = {}
+    states_ok = True
+    data = {"scale": scale, "sockets": sockets, "workloads": {}}
+    for (name, system, placement, page), outcome in zip(combos,
+                                                        outcomes):
+        assert outcome.ok, (f"{name}/{system} under {placement}/{page} "
+                            f"failed: {outcome.status} {outcome.detail}")
+        grid[(name, system, placement, page)] = outcome
+        entry = data["workloads"].setdefault(name, {})
+        entry[f"{system}/{placement}/{page}"] = {
+            "cycles": outcome.result.cycles,
+            "hitm": outcome.result.hitm_total,
+            "cross_socket_hitm": cross_hitm(outcome),
+        }
+    for name in names:
+        for system in systems:
+            reference = None
+            for placement in placements:
+                for page in pages:
+                    state = grid[(name, system, placement,
+                                  page)].final_state
+                    if reference is None:
+                        reference = state
+                    elif state != reference:
+                        states_ok = False
+    data["state_identical_all"] = states_ok
+
+    # the mapping-vs-repair headline: aggregate cross-socket HITM of
+    # the unrepaired runs under first-touch pages
+    compact_cross = sum(
+        cross_hitm(grid[(name, "pthreads", "compact", pages[0])]) or 0
+        for name in names)
+    aware_cross = sum(
+        cross_hitm(grid[(name, "pthreads", "sharing-aware",
+                         pages[0])]) or 0
+        for name in names)
+    data["cross_hitm"] = {"compact": compact_cross,
+                          "sharing-aware": aware_cross}
+    data["sharing_aware_cross_reduction"] = (
+        1.0 - aware_cross / compact_cross if compact_cross else 0.0)
+
+    rows = []
+    for name in names:
+        base = grid[(name, "pthreads", placements[0],
+                     pages[0])].result.cycles
+        for placement in placements:
+            for page in pages:
+                plain = grid[(name, "pthreads", placement, page)]
+                repaired = grid[(name, "static-repaired", placement,
+                                 page)]
+                rows.append((
+                    name, placement, page,
+                    round(plain.result.cycles / base, 3),
+                    plain.result.hitm_total, cross_hitm(plain),
+                    round(repaired.result.cycles / base, 3),
+                    cross_hitm(repaired)))
+    text = format_table(
+        ["workload", "placement", "pages", "pthreads", "hitm",
+         "x-socket", "repaired", "x-socket"],
+        rows,
+        title=(f"Placement vs repair on {sockets} sockets: runtime "
+               f"normalized to compact/{pages[0]} pthreads, total and "
+               f"cross-socket HITM"))
+    notes = [
+        f"sharing-aware cuts cross-socket HITM {compact_cross} -> "
+        f"{aware_cross} "
+        f"({data['sharing_aware_cross_reduction']:.1%}) vs compact",
+        "state-identity gate: "
+        + ("all placements bit-identical" if states_ok else "VIOLATED"),
+    ]
+    return ExperimentResult("placement_repair", data, text, notes)
+
+
 def repair_compare(scale=0.1, workloads=None):
     """pthreads vs tmi-protect vs static-repaired vs static+tmi.
 

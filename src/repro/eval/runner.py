@@ -73,7 +73,7 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
                  nthreads=None, sanitize=False, schedule=None,
                  max_cycles=None, collect_state=False, trace=False,
                  collect_metrics=False, profile=False, faults=None,
-                 vector=None):
+                 vector=None, sockets=None, placement=None, pages=None):
     """Run one workload under one system; never raises for the failure
     modes the paper studies.
 
@@ -110,6 +110,15 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
     forces the pure-serial interpreter, ``True`` requires the vector
     core, ``None`` (default) auto-enables it when eligible.  Results
     are bit-identical either way — the flag only changes host speed.
+
+    NUMA (see ``docs/HARDWARE.md``): ``sockets`` builds the machine on
+    a multi-socket :class:`~repro.sim.topology.Topology`, ``placement``
+    names a thread-placement policy from :mod:`repro.mapping`
+    (``sharing-aware`` plans from a throwaway trace extraction, like
+    the static-repair systems), and ``pages`` picks the page-placement
+    policy (``first-touch`` / ``interleave``).  Leaving all three at
+    ``None`` runs the historical single-socket machine byte-identical
+    to every earlier PR.
     """
     profiler = None
     if profile:
@@ -150,6 +159,28 @@ def run_workload(name, system, scale=1.0, config=None, variant=None,
         engine_kwargs["max_cycles"] = max_cycles
     if vector is not None:
         engine_kwargs["vector"] = vector
+    if sockets is not None or placement is not None or pages is not None:
+        from repro.mapping import affinity_groups, make_placement
+        from repro.sim.machine import Machine
+        from repro.sim.topology import Topology
+        n_cores = program.nthreads + 2
+        topology = Topology.fit(n_cores, sockets or 1)
+        with phase("mapping"):
+            engine_kwargs["machine"] = Machine(
+                n_cores=n_cores, topology=topology,
+                pages=pages or "first-touch")
+            if placement is not None:
+                groups = None
+                if placement == "sharing-aware":
+                    # like the static-repair systems: measure sharing
+                    # on a throwaway build, place the real program
+                    from repro.analysis.extract import TraceExtractor
+                    extract = TraceExtractor(
+                        workload.build(build_variant)).run()
+                    groups = affinity_groups(extract.lines,
+                                             program.nthreads + 2)
+                engine_kwargs["placement"] = make_placement(
+                    placement, topology, n_cores, groups=groups)
     try:
         with phase("engine-init"):
             engine = Engine(program, runtime, policy=policy,

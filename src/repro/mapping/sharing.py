@@ -1,0 +1,60 @@
+"""Sharing-affinity extraction: trace line masks -> thread groups.
+
+The trace extractor (:mod:`repro.analysis.extract`) records, for every
+cache line touched during the parallel phase, which thread read/wrote
+which bytes.  Sharing-aware placement only needs the *communication
+graph* implied by that record: threads that touch the same line — with
+at least one of them writing — will exchange coherence messages, so
+they belong on the same socket.  This module turns the line record
+into disjoint thread groups with a deterministic union-find; no
+simulation state is consulted, so the same trace always yields the
+same groups.
+"""
+
+from typing import Dict, List, Sequence
+
+
+def affinity_groups(lines: Dict[int, Dict[int, Sequence[int]]],
+                    nthreads: int) -> List[List[int]]:
+    """Disjoint groups of threads coupled by write-shared lines.
+
+    ``lines`` is the extractor's ``line_va -> {tid: [read_mask,
+    write_mask]}`` record.  Two threads are coupled when they touch the
+    same line and at least one of them writes it (read-only sharing is
+    free under MESI and does not constrain placement).  Returns the
+    connected components with two or more members, sorted by smallest
+    member tid; singleton threads are left for the placement fallback.
+    """
+    parent = list(range(nthreads))
+
+    def find(tid: int) -> int:
+        while parent[tid] != tid:
+            parent[tid] = parent[parent[tid]]
+            tid = parent[tid]
+        return tid
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            if rb < ra:
+                ra, rb = rb, ra
+            parent[rb] = ra
+
+    for line_va in sorted(lines):
+        masks = lines[line_va]
+        tids = sorted(tid for tid in masks if 0 <= tid < nthreads)
+        if len(tids) < 2:
+            continue
+        if not any(masks[tid][1] for tid in tids):
+            continue
+        first = tids[0]
+        for other in tids[1:]:
+            union(first, other)
+
+    members: Dict[int, List[int]] = {}
+    for tid in range(nthreads):
+        members.setdefault(find(tid), []).append(tid)
+    groups = [sorted(group) for group in members.values()
+              if len(group) >= 2]
+    groups.sort(key=lambda group: group[0])
+    return groups

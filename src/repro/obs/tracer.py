@@ -61,6 +61,12 @@ class Tracer(EngineObserver):
             "n_cores": engine.machine.n_cores,
             "cycles_per_second": engine.costs.cycles_per_second,
         }
+        topology = engine.machine.topology
+        if topology.sockets > 1:
+            # only on multi-socket machines: single-socket trace dicts
+            # stay byte-identical to every earlier PR
+            self.meta["sockets"] = topology.sockets
+            self.meta["cores_per_socket"] = topology.cores_per_socket
 
     def _now(self, tid=None):
         """Current cycle on ``tid``'s core (machine time if unknown)."""
@@ -327,8 +333,13 @@ def write_chrome_trace(trace_data, path):
     metadata(_PID_THREADS, 0, "process_name", "threads")
     metadata(_PID_MONITOR, 0, "process_name", "tmi-monitor")
     metadata(_PID_MONITOR, 0, "thread_name", "monitor")
+    per_socket = meta.get("cores_per_socket") or 0
     for core in range(meta.get("n_cores") or 0):
-        metadata(_PID_CORES, core, "thread_name", f"core {core}")
+        if (meta.get("sockets") or 1) > 1:
+            track = f"core {core} (socket {core // per_socket})"
+        else:
+            track = f"core {core}"
+        metadata(_PID_CORES, core, "thread_name", track)
 
     seen_tids = set()
     for event in trace_data["events"]:

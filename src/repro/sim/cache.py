@@ -53,7 +53,7 @@ class CoherenceDirectory:
     the unoptimized model for differential testing.
     """
 
-    def __init__(self, costs, n_cores):
+    def __init__(self, costs, n_cores, topology=None, home_of=None):
         self.costs = costs
         self.n_cores = n_cores
         self._lines = {}           # line pa -> {core: state}
@@ -65,10 +65,20 @@ class CoherenceDirectory:
         self._contend_window = costs.contend_window
         self._contend_penalty = costs.contend_penalty
         self._contend_max_cores = costs.contend_max_cores
+        # NUMA: with one socket (or no topology) _multi stays False and
+        # no access ever takes a socket-aware branch, keeping single-
+        # socket runs byte-identical to the pre-NUMA machine.
+        self._multi = topology is not None and topology.sockets > 1
+        self._socket_of = (topology.socket_map() if self._multi
+                           else (0,) * n_cores)
+        self._home_of = home_of
         self.hitm_load_count = 0
         self.hitm_store_count = 0
         self.access_count = 0
         self.contended_accesses = 0
+        self.hitm_cross_socket_count = 0
+        self.qpi_hops = 0
+        self.remote_mem_fills = 0
 
     # ------------------------------------------------------------------
     def access(self, core, pa, width, is_write, now=0):
@@ -196,7 +206,18 @@ class CoherenceDirectory:
                 out.cost += costs.hitm_load
                 out.hitm_remotes.append(remote_m)
                 self.hitm_load_count += 1
+                if self._multi and \
+                        self._socket_of[remote_m] != self._socket_of[core]:
+                    out.cost += costs.qpi_hop
+                    self.qpi_hops += 1
+                    self.hitm_cross_socket_count += 1
             elif holders:
+                if self._multi:
+                    my_socket = self._socket_of[core]
+                    if all(self._socket_of[o] != my_socket
+                           for o in holders):
+                        out.cost += costs.qpi_hop
+                        self.qpi_hops += 1
                 for other in holders:
                     if holders[other] == EXCLUSIVE:
                         holders[other] = SHARED_ST
@@ -205,6 +226,10 @@ class CoherenceDirectory:
             else:
                 holders[core] = EXCLUSIVE
                 out.cost += costs.mem_fill
+                if self._multi and \
+                        self._home_of(line, core) != self._socket_of[core]:
+                    out.cost += costs.numa_remote_fill
+                    self.remote_mem_fills += 1
             return
 
         # write
@@ -223,9 +248,19 @@ class CoherenceDirectory:
             out.cost += costs.hitm_store
             out.hitm_remotes.append(remote_m)
             self.hitm_store_count += 1
+            if self._multi and \
+                    self._socket_of[remote_m] != self._socket_of[core]:
+                out.cost += costs.qpi_hop
+                self.qpi_hops += 1
+                self.hitm_cross_socket_count += 1
             return
         others = [c for c in holders if c != core]
         if mine == SHARED_ST or others:
+            if self._multi:
+                my_socket = self._socket_of[core]
+                if any(self._socket_of[o] != my_socket for o in others):
+                    out.cost += costs.qpi_hop
+                    self.qpi_hops += 1
             for other in others:
                 del holders[other]
             holders[core] = MODIFIED
@@ -233,6 +268,10 @@ class CoherenceDirectory:
             return
         holders[core] = MODIFIED
         out.cost += costs.mem_fill
+        if self._multi and \
+                self._home_of(line, core) != self._socket_of[core]:
+            out.cost += costs.numa_remote_fill
+            self.remote_mem_fills += 1
 
     # ------------------------------------------------------------------
     def flush_range(self, pa, nbytes):

@@ -36,15 +36,22 @@ class RefOutcome:
 class ReferenceDirectory:
     """Directory-based MESI over physical line addresses (slow path)."""
 
-    def __init__(self, costs, n_cores):
+    def __init__(self, costs, n_cores, topology=None, home_of=None):
         self.costs = costs
         self.n_cores = n_cores
         self._lines = {}           # line pa -> {core: state}
         self._recent = {}          # line pa -> {core: [last_any, last_wr]}
+        self._multi = topology is not None and topology.sockets > 1
+        self._socket_of = (topology.socket_map() if self._multi
+                           else (0,) * n_cores)
+        self._home_of = home_of
         self.hitm_load_count = 0
         self.hitm_store_count = 0
         self.access_count = 0
         self.contended_accesses = 0
+        self.hitm_cross_socket_count = 0
+        self.qpi_hops = 0
+        self.remote_mem_fills = 0
 
     # ------------------------------------------------------------------
     def access(self, core, pa, width, is_write, now=0):
@@ -115,7 +122,18 @@ class ReferenceDirectory:
                 out.cost += costs.hitm_load
                 out.hitm_remotes.append(remote_m)
                 self.hitm_load_count += 1
+                if self._multi and \
+                        self._socket_of[remote_m] != self._socket_of[core]:
+                    out.cost += costs.qpi_hop
+                    self.qpi_hops += 1
+                    self.hitm_cross_socket_count += 1
             elif holders:
+                if self._multi:
+                    my_socket = self._socket_of[core]
+                    if all(self._socket_of[o] != my_socket
+                           for o in holders):
+                        out.cost += costs.qpi_hop
+                        self.qpi_hops += 1
                 for other in holders:
                     if holders[other] == EXCLUSIVE:
                         holders[other] = SHARED_ST
@@ -124,6 +142,10 @@ class ReferenceDirectory:
             else:
                 holders[core] = EXCLUSIVE
                 out.cost += costs.mem_fill
+                if self._multi and \
+                        self._home_of(line, core) != self._socket_of[core]:
+                    out.cost += costs.numa_remote_fill
+                    self.remote_mem_fills += 1
             return
 
         if mine == MODIFIED:
@@ -140,9 +162,19 @@ class ReferenceDirectory:
             out.cost += costs.hitm_store
             out.hitm_remotes.append(remote_m)
             self.hitm_store_count += 1
+            if self._multi and \
+                    self._socket_of[remote_m] != self._socket_of[core]:
+                out.cost += costs.qpi_hop
+                self.qpi_hops += 1
+                self.hitm_cross_socket_count += 1
             return
         others = [c for c in holders if c != core]
         if mine == SHARED_ST or others:
+            if self._multi:
+                my_socket = self._socket_of[core]
+                if any(self._socket_of[o] != my_socket for o in others):
+                    out.cost += costs.qpi_hop
+                    self.qpi_hops += 1
             for other in others:
                 del holders[other]
             holders[core] = MODIFIED
@@ -150,6 +182,10 @@ class ReferenceDirectory:
             return
         holders[core] = MODIFIED
         out.cost += costs.mem_fill
+        if self._multi and \
+                self._home_of(line, core) != self._socket_of[core]:
+            out.cost += costs.numa_remote_fill
+            self.remote_mem_fills += 1
 
     # ------------------------------------------------------------------
     def flush_range(self, pa, nbytes):

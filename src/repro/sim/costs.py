@@ -52,6 +52,16 @@ class CostModel:
     #: Per-line cost of bulk streaming accesses (bandwidth-bound).
     stream_per_line: int = 12
 
+    # --- NUMA / inter-socket interconnect (multi-socket only; with
+    #     Topology(sockets=1) neither knob is ever charged) ---
+    #: Extra cycles whenever a coherence transfer crosses a socket
+    #: boundary (QPI/UPI hop): cross-socket HITM supply, cross-socket
+    #: clean shared fill, and invalidating a remote socket's copies.
+    qpi_hop: int = 120
+    #: Extra cycles for a memory fill whose home node is a different
+    #: socket than the accessing core (remote DRAM latency delta).
+    numa_remote_fill: int = 100
+
     # --- hot-line contention (queueing on the SWMR serialization) ---
     #: Extra cycles per access to a line with an active cross-core
     #: conflict, per recently-conflicting remote core.  Models the

@@ -6,23 +6,62 @@ LASER) observe it through listeners — most importantly ``on_hitm``, which
 feeds the simulated PEBS machinery.
 """
 
+from repro.errors import SimulationError
 from repro.sim.cache import CoherenceDirectory
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.events import HitmEvent
 from repro.sim.physmem import PhysicalMemory
+from repro.sim.topology import Topology
+
+#: Page-placement policies a multi-socket machine understands.
+PAGE_POLICIES = ("first-touch", "interleave")
 
 
 class Machine:
-    """Cores + memory + coherence for one simulation run."""
+    """Cores + memory + coherence for one simulation run.
 
-    def __init__(self, n_cores=8, costs=None):
+    ``topology`` groups the cores into sockets; the default single
+    socket is the exact pre-NUMA machine (byte-identical costs).  With
+    ``sockets >= 2`` the directory charges QPI hop and remote-fill
+    costs, and ``pages`` selects how 4 KB frames acquire NUMA home
+    nodes: ``"first-touch"`` homes a frame on the socket of the first
+    core to miss on it; ``"interleave"`` stripes frames round-robin
+    across sockets.
+    """
+
+    def __init__(self, n_cores=8, costs=None, topology=None,
+                 pages="first-touch"):
         self.costs = costs or DEFAULT_COSTS
         self.n_cores = n_cores
+        self.topology = topology or Topology(sockets=1,
+                                             cores_per_socket=n_cores)
+        if self.topology.n_cores < n_cores:
+            raise SimulationError(
+                f"topology covers {self.topology.n_cores} cores, "
+                f"machine needs {n_cores}")
+        if pages not in PAGE_POLICIES:
+            raise SimulationError(f"unknown page policy {pages!r}")
+        self.page_policy = pages
         self.physmem = PhysicalMemory()
-        self.directory = CoherenceDirectory(self.costs, n_cores)
+        multi = self.topology.sockets > 1
+        self.directory = CoherenceDirectory(
+            self.costs, n_cores, topology=self.topology,
+            home_of=self._home_of if multi else None)
         self.core_clock = [0] * n_cores
         self._hitm_listeners = []
         self.hitm_events = 0
+
+    def _home_of(self, line, core):
+        """Home node of ``line``'s frame, assigning it on first miss."""
+        frame = line >> 12
+        node = self.physmem._home_nodes.get(frame)
+        if node is None:
+            if self.page_policy == "interleave":
+                node = frame % self.topology.sockets
+            else:
+                node = self.topology.socket_of(core)
+            self.physmem._home_nodes[frame] = node
+        return node
 
     # ------------------------------------------------------------------
     # listeners
@@ -96,6 +135,22 @@ class Machine:
         registry.gauge("machine.cores").set(self.n_cores)
         for core, clock in enumerate(self.core_clock):
             registry.gauge("machine.core_cycles", core=core).set(clock)
+        if self.topology.sockets > 1:
+            # NUMA namespace only exists on multi-socket machines, so
+            # single-socket metrics snapshots stay unchanged.
+            registry.gauge("machine.sockets").set(self.topology.sockets)
+            registry.counter("machine.hitm.cross_socket").inc(
+                directory.hitm_cross_socket_count)
+            registry.counter("machine.qpi.hops").inc(directory.qpi_hops)
+            registry.counter("machine.numa.remote_fills").inc(
+                directory.remote_mem_fills)
+            for socket in range(self.topology.sockets):
+                cores = [c for c in self.topology.cores_of(socket)
+                         if c < self.n_cores]
+                busiest = max((self.core_clock[c] for c in cores),
+                              default=0)
+                registry.gauge("machine.socket_cycles",
+                               socket=socket).set(busiest)
 
     @property
     def now(self):

@@ -36,8 +36,25 @@ class PhysicalMemory:
         self._chunks = {}          # chunk base pa -> bytearray(_CHUNK)
         self._bump = _CHUNK        # pa 0..4095 reserved (null frame)
         self._free = {}            # size -> list of base addresses
+        self._home_nodes = {}      # frame (pa >> 12) -> NUMA node
         self.reserved_bytes = 0    # allocated (possibly untouched)
         self.freed_bytes = 0
+
+    # ------------------------------------------------------------------
+    # NUMA home nodes (multi-socket topologies only)
+    # ------------------------------------------------------------------
+    def home_node(self, pa):
+        """NUMA node owning the 4 KB frame holding ``pa`` (None = unset).
+
+        Single-socket machines never assign home nodes; multi-socket
+        machines assign one lazily per the page-placement policy on the
+        frame's first coherence fill (see ``Machine``).
+        """
+        return self._home_nodes.get(pa >> 12)
+
+    def set_home_node(self, pa, node):
+        """Pin the 4 KB frame holding ``pa`` to NUMA ``node``."""
+        self._home_nodes[pa >> 12] = node
 
     # ------------------------------------------------------------------
     # allocation

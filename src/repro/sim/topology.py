@@ -1,0 +1,75 @@
+"""Multi-socket NUMA topology for the simulated machine.
+
+A :class:`Topology` describes how the machine's cores are grouped into
+sockets.  The default — one socket holding every core — is the exact
+machine every earlier PR simulated: with ``sockets == 1`` no NUMA code
+path activates and every run stays byte-identical to the single-socket
+goldens.  With ``sockets >= 2`` the coherence directory charges
+QPI-style hop costs for cross-socket transfers and the physical memory
+gains per-frame home nodes (see ``docs/HARDWARE.md``).
+
+The topology is a frozen dataclass so it can ride inside eval grid
+cells through ``ProcessPoolExecutor`` pickling unchanged.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Sockets x cores-per-socket layout of the simulated machine.
+
+    Core ids are dense: socket ``s`` owns cores
+    ``[s * cores_per_socket, (s+1) * cores_per_socket)``.  This matches
+    how compact placement fills cores and keeps ``socket_of`` a single
+    integer divide.
+    """
+
+    sockets: int = 1
+    cores_per_socket: int = 8
+
+    def __post_init__(self):
+        if self.sockets < 1:
+            raise SimulationError(f"topology needs >= 1 socket, "
+                                  f"got {self.sockets}")
+        if self.cores_per_socket < 1:
+            raise SimulationError(f"topology needs >= 1 core per socket, "
+                                  f"got {self.cores_per_socket}")
+
+    @property
+    def n_cores(self) -> int:
+        """Total core count across every socket."""
+        return self.sockets * self.cores_per_socket
+
+    def socket_of(self, core: int) -> int:
+        """Socket id owning ``core``."""
+        return core // self.cores_per_socket
+
+    def cores_of(self, socket: int) -> range:
+        """The dense core-id range owned by ``socket``."""
+        base = socket * self.cores_per_socket
+        return range(base, base + self.cores_per_socket)
+
+    def socket_map(self) -> tuple:
+        """Per-core socket ids, indexable by core id (fast-path table)."""
+        return tuple(core // self.cores_per_socket
+                     for core in range(self.n_cores))
+
+    @classmethod
+    def fit(cls, n_cores: int, sockets: int = 1) -> "Topology":
+        """Topology with ``sockets`` sockets covering >= ``n_cores``.
+
+        Cores-per-socket is the ceiling division, so the last socket may
+        have spare cores; core ids past ``n_cores`` simply never run a
+        thread.
+        """
+        if sockets < 1:
+            raise SimulationError(f"fit needs >= 1 socket, got {sockets}")
+        per = max(1, -(-n_cores // sockets))
+        return cls(sockets=sockets, cores_per_socket=per)
+
+
+#: Degenerate single-socket topology (the pre-NUMA machine).
+SINGLE_SOCKET = Topology(sockets=1, cores_per_socket=8)

@@ -1,0 +1,103 @@
+"""Parity-clique counters: the placement grid's discriminating case.
+
+Two disjoint sharing cliques whose members *interleave* by thread
+index: even-index workers pack their counters into line A, odd-index
+workers into line B.  Each line is falsely shared inside its clique
+(single-owner 8-byte slots), and the cliques never touch each other's
+line.
+
+Why it exists: the repair-suite workloads assign contiguous thread
+ranges to shared structures, so compact placement — which fills socket
+0 with the first threads — is already near-optimal for them and a
+placement grid cannot distinguish "packs sockets" from "packs
+*sharers*".  Here compact splits both cliques across the socket
+boundary (every line ping-pongs over QPI), while sharing-aware
+placement groups each clique onto one socket and eliminates the
+cross-socket HITM traffic entirely.  See EXPERIMENTS.md, "Placement
+vs repair".
+"""
+
+from repro.workloads.base import (DEFAULT, MB, Workload, spawn_join,
+                                  worker_index)
+
+#: Number of parity cliques (and falsely shared lines).
+CLIQUES = 2
+
+
+class CliqueCounters(Workload):
+    """Interleaved two-clique false sharing for placement studies."""
+
+    name = "clique-counters"
+    suite = "micro"
+    nthreads = 8
+    footprint = 1 * MB
+    has_false_sharing = True
+    sync_rate = "low"
+    # like racy-counters, the loops must outlast the thread-creation
+    # stagger so the cliques actually overlap in the parallel phase --
+    # the 8-spawn stagger swallows ~8k iterations per worker, and the
+    # placement grid runs this workload scaled down to 0.3
+    increments = 40000
+
+    def body(self, binary, env, variant):
+        ld = binary.load_site("clique_read", 8)
+        st = binary.store_site("clique_incr", 8)
+        # default: clique members packed into one line (8B slots);
+        # fixed: every counter on its own line (what repair would do)
+        stride = 8 if variant == DEFAULT else 64
+        nworkers = self.nthreads
+        per_clique = nworkers // CLIQUES
+        iters = self.iters(self.increments)
+
+        def main(t):
+            buf = yield from t.malloc(
+                CLIQUES * max(64, per_clique * stride) + 64, align=64)
+            clique_bytes = max(64, per_clique * stride)
+            env["counters"] = buf
+            env["stride"] = stride
+            env["clique_bytes"] = clique_bytes
+            env["workers"] = nworkers
+            env["iters"] = iters
+
+            def worker(w):
+                index = worker_index(w)
+                clique = index % CLIQUES
+                slot = index // CLIQUES
+                addr = buf + clique * clique_bytes + slot * stride
+                for _ in range(iters):
+                    value = yield from w.load(addr, 8, site=ld)
+                    yield from w.store(addr, value + 1, 8, site=st)
+
+            yield from spawn_join(t, nworkers, worker)
+            total = 0
+            for index in range(nworkers):
+                clique = index % CLIQUES
+                slot = index // CLIQUES
+                addr = buf + clique * clique_bytes + slot * stride
+                value = yield from t.load(addr, 8, site=ld)
+                total += value
+            env["total"] = total
+
+        return main
+
+    def validate(self, env, engine):
+        """Every increment must land: counters sum to workers*iters."""
+        expected = env["workers"] * env["iters"]
+        assert env.get("total") == expected, (
+            f"clique counters sum to {env.get('total')} != {expected}")
+
+    result_env_keys = ("total", "workers", "iters")
+
+    def final_state(self, env, engine):
+        """Digest includes each counter word (layout-independent)."""
+        state = super().final_state(env, engine)
+        per_clique = env["workers"] // CLIQUES
+        words = []
+        for index in range(env["workers"]):
+            clique = index % CLIQUES
+            slot = index // CLIQUES
+            addr = (env["counters"] + clique * env["clique_bytes"]
+                    + slot * env["stride"])
+            words.extend(self.read_words(engine, addr, 1, env["stride"]))
+        state["counters"] = tuple(words)
+        return state

@@ -3,6 +3,7 @@ cholesky kernel and the racy-flag sanitizer control."""
 
 from repro.workloads.apps import LevelDB
 from repro.workloads.boost import MICROS
+from repro.workloads.clique import CliqueCounters
 from repro.workloads.parsec import PARSEC
 from repro.workloads.phoenix import PHOENIX
 from repro.workloads.racy import RacyCounters, RacyFlag
@@ -23,6 +24,7 @@ def _build_registry():
     registry["cholesky"] = Cholesky
     registry["racy-flag"] = RacyFlag
     registry["racy-counters"] = RacyCounters
+    registry["clique-counters"] = CliqueCounters
     return registry
 
 
@@ -64,4 +66,4 @@ def repair_suite_names():
 
 def all_names():
     return figure7_names() + ["leveldb-fs", "cholesky", "racy-flag",
-                              "racy-counters"]
+                              "racy-counters", "clique-counters"]

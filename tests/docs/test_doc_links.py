@@ -22,7 +22,8 @@ REPO = os.path.dirname(os.path.dirname(
 
 #: Documentation whose links/references are enforced.
 DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
-        "docs/ARCHITECTURE.md", "docs/ROBUSTNESS.md"]
+        "docs/ARCHITECTURE.md", "docs/HARDWARE.md",
+        "docs/ROBUSTNESS.md"]
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 _CODE = re.compile(r"`([^`\n]+)`")

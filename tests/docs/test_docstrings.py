@@ -16,7 +16,7 @@ SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 
 #: Packages whose public defs must carry docstrings.
 PACKAGES = ("repro/obs", "repro/eval", "repro/engine", "repro/sim",
-            "repro/faults", "repro/service")
+            "repro/faults", "repro/service", "repro/mapping")
 
 #: Dunders exempt from the presence rule (ruff's D105/D107 stance).
 _EXEMPT = {"__init__", "__repr__", "__str__", "__eq__", "__hash__",

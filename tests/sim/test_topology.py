@@ -1,0 +1,227 @@
+"""Multi-socket topology: geometry math, the single-socket degenerate
+case, and the NUMA cost model.
+
+Three pins, in order of importance:
+
+1. ``sockets=1`` is *byte-identical* to the historical machine: a
+   directory built with a one-socket topology must replay any trace
+   with exactly the costs, counters, and MESI state of a directory
+   built with no topology at all (the seed goldens depend on this).
+2. The NUMA branches of the optimized directory match the reference
+   model (``cache_ref``) step for step on multi-socket traces.
+3. The individual cost rules (cross-socket HITM, remote shared fill,
+   remote cold fill, cross-socket invalidation) charge exactly the
+   knobs in :mod:`repro.sim.costs`.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cache import CoherenceDirectory
+from repro.sim.cache_ref import ReferenceDirectory
+from repro.sim.costs import LINE_SIZE, CostModel
+from repro.sim.machine import Machine
+from repro.sim.topology import SINGLE_SOCKET, Topology
+
+BASE = 0x40_0000
+
+
+# ---------------------------------------------------------------- geometry
+
+def test_topology_geometry():
+    topo = Topology(sockets=2, cores_per_socket=4)
+    assert topo.n_cores == 8
+    assert [topo.socket_of(c) for c in range(8)] == [0, 0, 0, 0,
+                                                     1, 1, 1, 1]
+    assert list(topo.cores_of(0)) == [0, 1, 2, 3]
+    assert list(topo.cores_of(1)) == [4, 5, 6, 7]
+    assert topo.socket_map() == (0, 0, 0, 0, 1, 1, 1, 1)
+
+
+def test_topology_fit_ceiling():
+    # fit() covers n_cores with the fewest cores per socket
+    assert Topology.fit(10, 2) == Topology(2, 5)
+    assert Topology.fit(9, 2) == Topology(2, 5)       # ceiling
+    assert Topology.fit(8, 1) == Topology(1, 8)
+    assert Topology.fit(3, 4).n_cores >= 3            # degenerate
+    assert SINGLE_SOCKET.sockets == 1
+
+
+def test_topology_validation():
+    with pytest.raises(SimulationError):
+        Topology(sockets=0, cores_per_socket=4)
+    with pytest.raises(SimulationError):
+        Topology(sockets=2, cores_per_socket=0)
+    with pytest.raises(SimulationError):
+        Machine(n_cores=8, topology=Topology(2, 2))   # covers only 4
+    with pytest.raises(SimulationError):
+        Machine(n_cores=8, pages="spray")
+
+
+# ------------------------------------------- sockets=1 degenerate case
+
+def random_trace(seed, n_cores, length=2500):
+    """Contended mixed trace over a small line set."""
+    rng = random.Random(seed)
+    steps = []
+    now = 0
+    for _ in range(length):
+        now += rng.randrange(0, 40)
+        if rng.random() < 0.02:
+            steps.append(("flush", BASE + rng.randrange(0, 6) * LINE_SIZE,
+                          rng.choice((8, LINE_SIZE))))
+            continue
+        core = rng.randrange(n_cores)
+        line = rng.randrange(0, 6) * LINE_SIZE
+        steps.append(("access", core, BASE + line + rng.choice((0, 8, 56)),
+                      rng.choice((1, 4, 8)), rng.random() < 0.5, now))
+    return steps
+
+
+def snapshot(directory):
+    return (directory.hitm_load_count, directory.hitm_store_count,
+            directory.access_count, directory.contended_accesses,
+            directory.hitm_cross_socket_count, directory.qpi_hops,
+            directory.remote_mem_fills, directory._lines)
+
+
+def replay_pair(left, right, steps):
+    """Replay one trace through two directories, comparing each step."""
+    for step in steps:
+        if step[0] == "flush":
+            _, pa, nbytes = step
+            left.flush_range(pa, nbytes)
+            right.flush_range(pa, nbytes)
+            continue
+        _, core, pa, width, is_write, now = step
+        got = left.access(core, pa, width, is_write, now=now)
+        got_cost, got_hitm = got.cost, list(got.hitm_remotes)
+        want = right.access(core, pa, width, is_write, now=now)
+        assert got_cost == want.cost, step
+        assert got_hitm == want.hitm_remotes, step
+    assert snapshot(left) == snapshot(right)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_single_socket_topology_is_byte_identical(seed):
+    """A one-socket topology takes zero NUMA branches: identical to a
+    directory with no topology at all (what the seed goldens ran)."""
+    costs = CostModel()
+    plain = CoherenceDirectory(costs, 8)
+    topo = CoherenceDirectory(costs, 8, topology=Topology(1, 8))
+    replay_pair(topo, plain, random_trace(seed, 8))
+
+
+# ------------------------------------------------- NUMA differential
+
+def first_touch_home():
+    """A shared idempotent home_of: first accessor's socket wins."""
+    topo = Topology(2, 4)
+    homes = {}
+
+    def home_of(line, core):
+        frame = line >> 12
+        if frame not in homes:
+            homes[frame] = topo.socket_of(core)
+        return homes[frame]
+
+    return home_of
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_numa_traces_match_reference(seed):
+    """Optimized vs reference directory on a 2-socket machine: every
+    per-access cost and every NUMA counter must agree."""
+    costs = CostModel()
+    topo = Topology(2, 4)
+    home = first_touch_home()
+    fast = CoherenceDirectory(costs, 8, topology=topo, home_of=home)
+    ref = ReferenceDirectory(costs, 8, topology=topo, home_of=home)
+    replay_pair(fast, ref, random_trace(seed, 8))
+
+
+# ------------------------------------------------------ cost rules
+
+def two_socket_dir(home_socket=0):
+    costs = CostModel()
+    topo = Topology(2, 4)
+    d = CoherenceDirectory(costs, 8, topology=topo,
+                           home_of=lambda line, core: home_socket)
+    return d, costs
+
+
+def test_cross_socket_hitm_charges_qpi_hop():
+    d, costs = two_socket_dir()
+    d.access(0, BASE, 8, True, now=0)                 # M on socket 0
+    local = d.access(1, BASE, 8, False, now=10).cost  # HITM, same socket
+    d.flush_range(BASE, 64)
+    d.access(0, BASE, 8, True, now=20)                # M on socket 0
+    remote = d.access(4, BASE, 8, False, now=30).cost  # HITM, socket 1
+    assert remote == local + costs.qpi_hop
+    assert d.hitm_cross_socket_count == 1
+    assert d.qpi_hops >= 1
+
+
+def test_remote_cold_fill_charges_numa_latency():
+    d, costs = two_socket_dir(home_socket=1)
+    # core 0 (socket 0) cold-fills a line homed on socket 1
+    filled = d.access(0, BASE, 8, False, now=0).cost
+    d2, _ = two_socket_dir(home_socket=0)
+    local = d2.access(0, BASE, 8, False, now=0).cost
+    assert filled == local + costs.numa_remote_fill
+    assert d.remote_mem_fills == 1
+    assert d2.remote_mem_fills == 0
+
+
+def test_shared_fill_from_remote_socket_hops():
+    d, costs = two_socket_dir()
+    d.access(0, BASE, 8, False, now=0)                 # E on socket 0
+    near = d.access(1, BASE, 8, False, now=10).cost    # S, holder local
+    d.flush_range(BASE, 64)
+    d.access(0, BASE, 8, False, now=20)                # E on socket 0
+    far = d.access(4, BASE, 8, False, now=30).cost     # S, holder remote
+    assert far == near + costs.qpi_hop
+
+
+def test_cross_socket_invalidate_hops():
+    d, costs = two_socket_dir()
+    d.access(0, BASE, 8, False, now=0)
+    d.access(1, BASE, 8, False, now=10)                # S on socket 0
+    near = d.access(0, BASE, 8, True, now=20).cost     # upgrade, local
+    d.flush_range(BASE, 64)
+    d.access(0, BASE, 8, False, now=30)
+    d.access(4, BASE, 8, False, now=40)                # S across sockets
+    far = d.access(0, BASE, 8, True, now=50).cost      # remote invalidate
+    assert far == near + costs.qpi_hop
+
+
+# ------------------------------------------------------- machine level
+
+def test_machine_home_node_policies():
+    topo = Topology(2, 4)
+    ft = Machine(n_cores=8, topology=topo, pages="first-touch")
+    # first touch from core 5 (socket 1) homes the page there
+    ft.directory.access(5, BASE, 8, False, now=0)
+    assert ft.physmem.home_node(BASE) == 1
+    # later touches from the other socket don't move it
+    ft.directory.access(0, BASE + 64, 8, False, now=10)
+    assert ft.physmem.home_node(BASE + 64) == 1
+
+    il = Machine(n_cores=8, topology=topo, pages="interleave")
+    il.directory.access(5, BASE, 8, False, now=0)
+    assert il.physmem.home_node(BASE) == (BASE >> 12) % 2
+
+
+def test_machine_metrics_gated_on_sockets():
+    single = Machine(n_cores=8)
+    from repro.obs import MetricsRegistry
+    reg = MetricsRegistry()
+    single.fill_metrics(reg)
+    assert not any(key.startswith("machine.sockets")
+                   for key in reg.snapshot()["gauges"])
+    multi = Machine(n_cores=8, topology=Topology(2, 4))
+    reg2 = MetricsRegistry()
+    multi.fill_metrics(reg2)
+    assert reg2.snapshot()["gauges"]["machine.sockets"] == 2
