@@ -22,10 +22,16 @@ Regenerate any paper artifact without pytest::
     python -m repro.eval.cli replay results/fuzz/racy-flag-....json
     python -m repro.eval.cli replay results/chaos/histogramfs-....json
     python -m repro.eval.cli submit --workloads histogram,histogramfs
+    python -m repro.eval.cli submit --workloads reverse --tenant acme
     python -m repro.eval.cli serve --once
+    python -m repro.eval.cli serve --drain
     python -m repro.eval.cli status
     python -m repro.eval.cli status grid-....-1 --json
     python -m repro.eval.cli results grid-....-1
+    python -m repro.eval.cli quarantine list
+    python -m repro.eval.cli quarantine inspect <digest>
+    python -m repro.eval.cli quarantine release <digest>
+    python -m repro.eval.cli resilience-chaos
     python -m repro.eval.cli list
 """
 
@@ -57,6 +63,7 @@ EXPERIMENTS = {
     "lint-accuracy": experiments.lint_accuracy,
     "repair-compare": experiments.repair_compare,
     "placement-repair": experiments.placement_repair,
+    "resilience-chaos": experiments.resilience_chaos,
 }
 
 #: Experiments whose signature takes no scale.
@@ -228,6 +235,15 @@ def build_parser():
     serve.add_argument("--jobs", type=int, default=None)
     serve.add_argument("--timeout", type=float, default=None,
                        help="per-cell wall-clock timeout in seconds")
+    serve.add_argument("--drain", action="store_true",
+                       help="graceful shutdown: accept no new inbox "
+                            "work, finish resumed campaigns and "
+                            "parked retries, flush the supervision "
+                            "record, exit")
+    serve.add_argument("--no-resilience", action="store_true",
+                       help="disable the supervision layer (no "
+                            "retries, no quarantine, no tenant "
+                            "quotas; PR 8 fail-fast semantics)")
 
     submit = sub.add_parser(
         "submit", help="submit a campaign spec (a JSON file, or "
@@ -252,6 +268,9 @@ def build_parser():
     submit.add_argument("--priority", type=int, default=0,
                         help="lower runs sooner")
     submit.add_argument("--name", default="")
+    submit.add_argument("--tenant", default="",
+                        help="submitting tenant (quota + fairness "
+                             "identity under the resilience layer)")
     submit.add_argument("--run", action="store_true",
                         help="process the campaign inline instead of "
                              "spooling it for a running server")
@@ -277,6 +296,21 @@ def build_parser():
     results.add_argument("--out", default=None,
                          help="write the JSON here instead of stdout")
 
+    quarantine = sub.add_parser(
+        "quarantine", help="inspect or release quarantined poison "
+                           "cells (repro-quarantine/1 entries)")
+    quarantine.add_argument("action",
+                            choices=("list", "inspect", "release"),
+                            help="list entries, print one entry with "
+                                 "its replay command, or release "
+                                 "digest(s) back into execution")
+    quarantine.add_argument("digest", nargs="?", default=None,
+                            help="cell digest (release also accepts "
+                                 "'all')")
+    quarantine.add_argument("--root", default=None,
+                            help="service root (default "
+                                 "results/service)")
+
     sub.add_parser("list", help="list workloads and systems")
     return parser
 
@@ -285,13 +319,18 @@ def _campaign_summary(state):
     """One status line for a campaign state document."""
     counts = state.get("counts", {})
     hits = state.get("cache_hit_fraction", 0.0)
-    return (f"{state.get('id')}: {state.get('status')} "
+    line = (f"{state.get('id')}: {state.get('status')} "
             f"({counts.get('ok', 0)}/{counts.get('total', 0)} ok, "
             f"{counts.get('cache_hits', 0)} cached [{hits:.0%}], "
             f"{counts.get('executed', 0)} executed, "
             f"{counts.get('failed', 0)} failed, "
             f"{counts.get('timeout', 0)} timeout, "
-            f"{counts.get('retried', 0)} retried)")
+            f"{counts.get('retried', 0)} retried")
+    if counts.get("quarantined"):
+        line += f", {counts['quarantined']} quarantined"
+    if counts.get("hung"):
+        line += f", {counts['hung']} hung"
+    return line + ")"
 
 
 def _service_command(args):
@@ -304,13 +343,23 @@ def _service_command(args):
 
     if args.command == "serve":
         service = CampaignService(root=args.root, jobs=args.jobs,
-                                  timeout=args.timeout)
+                                  timeout=args.timeout,
+                                  resilience=not args.no_resilience)
         done = asyncio.run(service.serve(once=args.once,
-                                         poll=args.poll))
+                                         poll=args.poll,
+                                         drain=args.drain))
         for job in done:
             print(_campaign_summary(job.to_dict()))
+        if service.resilience is not None:
+            held = service.resilience.quarantine.digests()
+            if held:
+                print(f"{len(held)} digest(s) in quarantine; "
+                      f"see `quarantine list`")
         failed = sum(1 for job in done if job.status != "completed")
         return 1 if failed else 0
+
+    if args.command == "quarantine":
+        return _quarantine_command(args)
 
     if args.command == "submit":
         if args.spec is not None:
@@ -328,7 +377,8 @@ def _service_command(args):
                 workloads=tuple(args.workloads.split(",")),
                 systems=tuple(args.systems.split(",")),
                 kind=args.kind, scale=args.scale, seeds=seeds,
-                priority=args.priority, name=args.name)
+                priority=args.priority, name=args.name,
+                tenant=args.tenant)
         if args.run:
             service = CampaignService(root=args.root, jobs=args.jobs)
             job = service.run_spec(spec,
@@ -390,6 +440,75 @@ def _service_command(args):
         print(f"[saved {args.out}]")
     else:
         print(text)
+    return 0
+
+
+def _quarantine_command(args):
+    """Dispatch the ``quarantine`` subcommand (list/inspect/release)."""
+    import json
+
+    from repro.eval.report import results_dir
+    from repro.service import Quarantine
+
+    root = args.root or os.path.join(results_dir(), "service")
+    quarantine = Quarantine(os.path.join(root, "quarantine"))
+
+    if args.action == "list":
+        digests = quarantine.digests()
+        if not digests:
+            print("quarantine empty")
+            return 0
+        for digest in digests:
+            entry = quarantine.get(digest) or {}
+            cell = entry.get("cell", {})
+            print(f"{digest[:16]}  {cell.get('name', '?')}/"
+                  f"{cell.get('system', '?')}  "
+                  f"attempts={entry.get('attempts', '?')}  "
+                  f"{entry.get('reason', '')}")
+        print(f"{len(digests)} digest(s) held; `quarantine inspect "
+              f"<digest>` shows replay kwargs")
+        return 0
+
+    if args.digest is None:
+        print(f"quarantine {args.action}: need a digest",
+              file=sys.stderr)
+        return 2
+
+    def resolve(prefix):
+        """Expand a unique digest prefix (as ``list`` prints) to the
+        full digest; ambiguous or unknown prefixes pass through."""
+        matches = [d for d in quarantine.digests()
+                   if d.startswith(prefix)]
+        return matches[0] if len(matches) == 1 else prefix
+
+    if args.action == "release":
+        digests = (quarantine.digests() if args.digest == "all"
+                   else [resolve(args.digest)])
+        released = [d for d in digests if quarantine.release(d)]
+        for digest in released:
+            print(f"released {digest}")
+        if not released:
+            print(f"no quarantine entry matches {args.digest!r}",
+                  file=sys.stderr)
+            return 2
+        print(f"{len(released)} digest(s) released; resubmit the "
+              f"campaign (same id) to re-execute them")
+        return 0
+
+    # inspect
+    entry = quarantine.get(resolve(args.digest))
+    if entry is None:
+        print(f"no quarantine entry for {args.digest!r}",
+              file=sys.stderr)
+        return 2
+    print(json.dumps(entry, indent=1, sort_keys=True))
+    cell = entry.get("cell", {})
+    if cell.get("name") and cell.get("system"):
+        replay = (f"python -m repro.eval.cli run {cell['name']} "
+                  f"{cell['system']}")
+        if cell.get("scale") is not None:
+            replay += f" --scale {cell['scale']}"
+        print(f"replay: {replay}")
     return 0
 
 
@@ -614,7 +733,8 @@ def main(argv=None):
         print(f"  DID NOT reproduce (artifact: {args.artifact})")
         return 1
 
-    if args.command in ("serve", "submit", "status", "results"):
+    if args.command in ("serve", "submit", "status", "results",
+                        "quarantine"):
         return _service_command(args)
 
     fn = EXPERIMENTS[args.command]

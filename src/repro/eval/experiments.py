@@ -729,3 +729,189 @@ def repair_compare(scale=0.1, workloads=None):
     import os
     notes = [f"plans under {os.path.join(results_dir(), 'repair')}"]
     return ExperimentResult("repair_compare", data, text, notes)
+
+
+def resilience_chaos(scale=0.05, jobs=None, root=None):
+    """SLO-gated chaos drill for the service resilience layer.
+
+    Runs the same multi-tenant campaign mix twice under a supervised
+    :class:`~repro.service.CampaignService`: once *chaotic* — two
+    poison cells that fail deterministically on every attempt, one
+    cell whose pool worker is hard-killed mid-shard, a corrupted grid
+    checkpoint, and an inbox flood past the flooding tenant's quota —
+    and once fault-free.  The SLO gate then demands what the
+    resilience layer promises:
+
+    - every campaign reaches ``completed`` and every non-quarantined
+      cell is harness-ok (retries absorbed the kill + corruption);
+    - every result the chaotic run cached is byte-identical to the
+      fault-free run's entry for the same digest;
+    - the quarantine contains *exactly* the injected poison cells;
+    - ``service.retry`` / ``service.quarantined`` match the injected
+      poison count, and the flood shows up as tenant backpressure.
+
+    The determinism design carries the gate: attempt counts live in
+    the ``repro-service-state/1`` supervision record (host-dependent
+    timings/crash evidence live in the health sidecar), so the
+    recorded state is identical across ``REPRO_JOBS`` settings.
+    """
+    import asyncio
+    import hashlib
+    import os
+    import shutil
+    import warnings
+
+    from repro.eval.report import results_dir
+    from repro.faults.harness import HARNESS_FAULTS_ENV, HarnessFaultPlan
+    from repro.service import (CampaignService, CampaignSpec,
+                               ResiliencePolicy, cell_digest)
+
+    base = root or os.path.join(results_dir(), "resilience-chaos")
+    chaotic_root = os.path.join(base, "chaotic")
+    clean_root = os.path.join(base, "fault-free")
+    for directory in (chaotic_root, clean_root):
+        shutil.rmtree(directory, ignore_errors=True)
+
+    specs = {
+        "acme-grid": CampaignSpec(
+            workloads=("histogram", "reverse"),
+            systems=("pthreads", "tmi-protect"), scale=scale,
+            name="acme-grid", tenant="acme"),
+        "bolt-grid": CampaignSpec(
+            workloads=("histogramfs",),
+            systems=("pthreads", "tmi-protect"), scale=scale,
+            name="bolt-grid", tenant="bolt", priority=1),
+        "acme-chaos": CampaignSpec(
+            workloads=("histogramfs",), systems=("tmi-protect",),
+            kind="chaos", seeds=(1, 2), scale=scale,
+            name="acme-chaos", tenant="acme"),
+    }
+    flood_spec = CampaignSpec(workloads=("histogram",), scale=scale,
+                              name="flood", tenant="bolt")
+    flood_ids = [f"flood-{n}" for n in range(1, 5)]
+    for cid in flood_ids:
+        specs[cid] = flood_spec
+
+    # fault targets, named by cell digest (the store/quarantine key)
+    acme_cells = specs["acme-grid"].cells()
+    bolt_cells = specs["bolt-grid"].cells()
+    poison = {
+        cell_digest(acme_cells[3]):
+            "injected poison: reverse/tmi-protect",
+        cell_digest(bolt_cells[1]):
+            "injected poison: histogramfs/tmi-protect"}
+    kill = (cell_digest(acme_cells[1]),)
+
+    policy = ResiliencePolicy(max_attempts=2, crash_threshold=2,
+                              jitter_rounds=1, tenant_max_queued=2,
+                              tenant_weights={"acme": 2, "bolt": 1})
+
+    def run_once(service_root, chaotic):
+        service = CampaignService(root=service_root, jobs=jobs,
+                                  resilience=policy)
+        for cid, spec in specs.items():
+            service.reserve_campaign_id(spec, campaign_id=cid)
+        if chaotic:
+            # corrupt one in-flight checkpoint; fallback_fresh must
+            # absorb it (warned, then recomputed)
+            ckpt = os.path.join(service_root, "checkpoints",
+                                "campaign-acme-grid.json")
+            os.makedirs(os.path.dirname(ckpt), exist_ok=True)
+            with open(ckpt, "w") as fh:
+                fh.write('{"format": "repro-grid-checkpoint/1", tru')
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            asyncio.run(service.serve(once=True))
+            asyncio.run(service.serve(drain=True))
+        return service
+
+    plan_path = os.path.join(base, "harness-faults.json")
+    HarnessFaultPlan(poison=poison, kill=kill).save(plan_path)
+    os.environ[HARNESS_FAULTS_ENV] = plan_path
+    try:
+        chaotic = run_once(chaotic_root, chaotic=True)
+    finally:
+        os.environ.pop(HARNESS_FAULTS_ENV, None)
+    clean = run_once(clean_root, chaotic=False)
+
+    def entry_bytes(service, digest):
+        try:
+            with open(service.store.path(digest), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
+    campaigns = {}
+    all_ok = True
+    for cid in sorted(specs):
+        state = chaotic.status(cid)
+        cells = state["cells"]
+        quarantined = sum(1 for e in cells.values()
+                          if e["status"] == "quarantined")
+        ok = sum(1 for e in cells.values() if e["status"] == "ok")
+        all_ok = all_ok and state["status"] == "completed" \
+            and ok + quarantined == len(cells)
+        campaigns[cid] = {"status": state["status"], "ok": ok,
+                          "quarantined": quarantined,
+                          "cells": len(cells)}
+
+    clean_digests = set()
+    for shard in os.listdir(clean.store.root):
+        shard_dir = os.path.join(clean.store.root, shard)
+        if os.path.isdir(shard_dir):
+            clean_digests.update(f[:-len(".json")]
+                                 for f in os.listdir(shard_dir)
+                                 if f.endswith(".json"))
+    expected = clean_digests - set(poison)
+    identical = all(entry_bytes(chaotic, d) == entry_bytes(clean, d)
+                    for d in sorted(expected))
+    payload_identical = identical and all(
+        entry_bytes(chaotic, d) is not None for d in expected)
+
+    quarantined_digests = chaotic.resilience.quarantine.digests()
+    counters = chaotic.metrics_snapshot()["counters"]
+    tenant_backpressure = sum(
+        v for k, v in counters.items()
+        if k.startswith("service.tenant.backpressure"))
+
+    slo = {
+        "campaigns_completed_nonquarantined_ok": all_ok,
+        "payloads_byte_identical_to_fault_free": payload_identical,
+        "quarantine_exactly_poison":
+            quarantined_digests == sorted(poison),
+        "retry_metric_matches_poison":
+            counters.get("service.retry", 0) == len(poison),
+        "quarantined_metric_matches_poison":
+            counters.get("service.quarantined", 0) == len(poison),
+        "flood_hit_tenant_quota": tenant_backpressure > 0,
+    }
+    slo_ok = all(slo.values())
+
+    state_path = chaotic.resilience.state_path
+    with open(state_path, "rb") as fh:
+        state_sha = hashlib.sha256(fh.read()).hexdigest()
+
+    data = {"scale": scale, "campaigns": campaigns, "slo": slo,
+            "slo_ok": slo_ok, "poison": sorted(poison),
+            "killed": list(kill),
+            "quarantined": quarantined_digests,
+            "retries": counters.get("service.retry", 0),
+            "tenant_backpressure": tenant_backpressure,
+            "supervision_state": state_path,
+            "supervision_state_sha256": state_sha,
+            "payload_bytes_checked": len(expected)}
+
+    rows = [(cid, specs[cid].tenant, c["status"], c["cells"],
+             c["ok"], c["quarantined"])
+            for cid, c in sorted(campaigns.items())]
+    text = format_table(
+        ["campaign", "tenant", "status", "cells", "ok", "quarantined"],
+        rows, title="Resilience chaos drill (chaotic run)")
+    text += "\n\nSLO gate:\n"
+    for key in sorted(slo):
+        text += f"  {'PASS' if slo[key] else 'FAIL':4}  {key}\n"
+    text += f"\noverall: {'PASS' if slo_ok else 'FAIL'}\n"
+    notes = [f"supervision record: {state_path} "
+             f"(sha256 {state_sha[:12]})",
+             f"fault plan: {plan_path}"]
+    return ExperimentResult("resilience_chaos", data, text, notes)

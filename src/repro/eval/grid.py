@@ -18,6 +18,7 @@ which is what grid-level reporting consumes.
 
 import json
 import os
+import time
 import warnings
 from dataclasses import dataclass, field
 
@@ -63,6 +64,11 @@ class GridCell:
     #: cells restored from the checkpoint.
     outcome: object = None
     from_checkpoint: bool = False
+    #: Host wall-clock seconds attributed to this cell (its share of
+    #: the batch it ran in); 0.0 for checkpoint restores.  Feeds the
+    #: service watchdog's timing history — deliberately *not* part of
+    #: the checkpoint, which stays deterministic.
+    elapsed: float = 0.0
 
 
 def checkpoint_path(name, out_dir=None):
@@ -157,14 +163,17 @@ def run_checkpointed(cells, name, jobs=None, timeout=None,
     batch = max(1, job_count(jobs)) * 2
     for base in range(0, len(pending), batch):
         chunk = pending[base:base + batch]
+        start = time.monotonic()
         records = run_cells_recorded([cells[i] for i in chunk],
                                      jobs=jobs, timeout=timeout)
+        share = (time.monotonic() - start) / max(1, len(chunk))
         for index, record in zip(chunk, records):
             summary = summarize_outcome(record.outcome)
             results[index] = GridCell(
                 cell=dict(cells[index]), status=record.status,
                 retried=record.retried, error=record.error,
-                summary=summary, outcome=record.outcome)
+                summary=summary, outcome=record.outcome,
+                elapsed=share)
             entries[cell_key(cells[index])] = {
                 "status": record.status, "retried": record.retried,
                 "error": record.error, "summary": summary}

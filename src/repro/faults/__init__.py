@@ -11,12 +11,16 @@ the repair suite against the pthreads final-state oracle.  See
 from repro.faults.chaos import (ChaosCell, ChaosReport,
                                 ChaosSmokeResult, chaos_repair_suite,
                                 chaos_smoke, default_plans, replay_plan)
+from repro.faults.harness import (HARNESS_FAULTS_ENV,
+                                  HARNESS_FAULTS_FORMAT,
+                                  HarnessFaultPlan, PoisonError)
 from repro.faults.inject import FAULT_POINTS, FaultInjector
 from repro.faults.plan import FAULT_PLAN_FORMAT, FaultPlan, default_rates
 
 __all__ = [
-    "FAULT_PLAN_FORMAT", "FAULT_POINTS", "ChaosCell", "ChaosReport",
+    "FAULT_PLAN_FORMAT", "FAULT_POINTS", "HARNESS_FAULTS_ENV",
+    "HARNESS_FAULTS_FORMAT", "ChaosCell", "ChaosReport",
     "ChaosSmokeResult", "FaultInjector", "FaultPlan",
-    "chaos_repair_suite", "chaos_smoke", "default_plans",
-    "default_rates", "replay_plan",
+    "HarnessFaultPlan", "PoisonError", "chaos_repair_suite",
+    "chaos_smoke", "default_plans", "default_rates", "replay_plan",
 ]

@@ -20,11 +20,17 @@ Pieces:
   ok/failed/timeout/retried classification, obs-layer progress;
 - :mod:`repro.service.service` — the long-running service: file
   inbox, restart resume, arrival-driven submission streams;
+- :mod:`repro.service.resilience` — the supervision layer: retry
+  budgets with logical-clock backoff, poison-cell quarantine
+  (``repro-quarantine/1``), tenant quotas with weighted-fair
+  draining, and the crash-safe ``repro-service-state/1``
+  supervision record;
 - :mod:`repro.service.client` — the tenant-side file client;
 - :mod:`repro.service.arrival` — closed-loop / Poisson / bursty
   arrival processes for load modeling.
 
-CLI: ``python -m repro.eval.cli serve | submit | status | results``.
+CLI: ``python -m repro.eval.cli
+serve | submit | status | results | quarantine``.
 See the service section of ``docs/ARCHITECTURE.md`` and the
 "Running a campaign" walkthrough in ``EXPERIMENTS.md``.
 """
@@ -33,6 +39,13 @@ from repro.service.arrival import (ARRIVAL_PROCESSES, ArrivalProcess,
                                    Bursty, ClosedLoop, Poisson,
                                    make_arrival)
 from repro.service.client import ServiceClient, load_spec
+from repro.service.resilience import (CELL_HUNG, CELL_QUARANTINED,
+                                      QUARANTINE_FORMAT, RETRYING,
+                                      SERVICE_STATE_FORMAT,
+                                      SOURCE_QUARANTINE, Quarantine,
+                                      ResiliencePolicy,
+                                      ResilienceSupervisor,
+                                      TenantQueues)
 from repro.service.scheduler import (CAMPAIGN_FORMAT, COMPLETED,
                                      FAILED, PENDING, RUNNING,
                                      CampaignJob, CampaignScheduler)
@@ -44,9 +57,13 @@ from repro.service.store import (STORE_FORMAT, ResultStore,
 
 __all__ = [
     "ARRIVAL_PROCESSES", "ArrivalProcess", "Bursty", "CAMPAIGN_FORMAT",
-    "COMPLETED", "CampaignJob", "CampaignScheduler", "CampaignService",
-    "CampaignSpec", "ClosedLoop", "FAILED", "KINDS", "PENDING",
-    "Poisson", "RUNNING", "ResultStore", "SPEC_FORMAT", "STORE_FORMAT",
-    "ServiceClient", "TERMINAL", "canonical_form", "cell_digest",
-    "load_spec", "make_arrival", "payload_bytes", "result_payload",
+    "CELL_HUNG", "CELL_QUARANTINED", "COMPLETED", "CampaignJob",
+    "CampaignScheduler", "CampaignService", "CampaignSpec",
+    "ClosedLoop", "FAILED", "KINDS", "PENDING", "Poisson",
+    "QUARANTINE_FORMAT", "Quarantine", "RETRYING", "RUNNING",
+    "ResiliencePolicy", "ResilienceSupervisor", "ResultStore",
+    "SERVICE_STATE_FORMAT", "SOURCE_QUARANTINE", "SPEC_FORMAT",
+    "STORE_FORMAT", "ServiceClient", "TERMINAL", "TenantQueues",
+    "canonical_form", "cell_digest", "load_spec", "make_arrival",
+    "payload_bytes", "result_payload",
 ]

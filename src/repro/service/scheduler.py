@@ -36,6 +36,8 @@ import os
 from repro.eval.grid import checkpoint_path, run_checkpointed
 from repro.eval.parallel import CELL_OK, CELL_TIMEOUT, job_count
 from repro.obs import EventLog, MetricsRegistry
+from repro.service.resilience import (CELL_HUNG, CELL_QUARANTINED,
+                                      RETRYING, SOURCE_QUARANTINE)
 from repro.service.store import (ResultStore, cell_digest,
                                  result_payload)
 
@@ -83,6 +85,8 @@ class CampaignJob:
                 counts["cache_hits"] += 1
             elif source == SOURCE_CHECKPOINT:
                 counts["checkpoint"] += 1
+            elif source == SOURCE_QUARANTINE:
+                pass  # held out: neither cached nor executed
             else:
                 counts["executed"] += 1
             if entry.get("retried"):
@@ -152,7 +156,7 @@ class CampaignScheduler:
 
     def __init__(self, store=None, state_dir=None, checkpoint_dir=None,
                  jobs=None, timeout=None, shard_cells=None,
-                 queue_limit=64, metrics=None):
+                 queue_limit=64, metrics=None, resilience=None):
         self.store = store if store is not None else ResultStore()
         self.state_dir = state_dir or "campaigns"
         self.checkpoint_dir = checkpoint_dir or "checkpoints"
@@ -161,6 +165,12 @@ class CampaignScheduler:
         self.shard_cells = shard_cells or max(1, job_count(jobs)) * 2
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry()
+        #: Optional :class:`~repro.service.resilience.
+        #: ResilienceSupervisor`; None keeps the PR 8 semantics
+        #: (classify once, fail fast, no retries) byte-for-byte.
+        self.resilience = resilience
+        if resilience is not None and resilience.metrics is None:
+            resilience.metrics = self.metrics
         self.queue_limit = queue_limit
         # created lazily inside a running loop (see _live_queue): a
         # queue built here would bind whatever loop exists at
@@ -207,6 +217,8 @@ class CampaignScheduler:
         submitter runs the highest-priority queued job to completion
         to free a slot, and that latency is the backpressure.
         """
+        if self.resilience is not None:
+            return await self._submit_supervised(job)
         queue = self._live_queue()
         self._seq += 1
         # a resubmitted campaign id keeps its prior per-cell progress;
@@ -230,11 +242,69 @@ class CampaignScheduler:
         self.metrics.gauge("campaign.queue_depth").set(queue.qsize())
         return job
 
+    async def _submit_supervised(self, job):
+        """Supervised submission: tenant quotas + weighted queues.
+
+        A fresh submission supersedes any parked retry of the same
+        campaign id.  Both the global ``queue_limit`` and the tenant's
+        ``tenant_max_queued`` quota apply; either being full makes the
+        submitter drain inline — and a *quota*-full tenant drains its
+        own queue first (``prefer_tenant``), so one flooding tenant
+        pays its own backpressure instead of evicting other tenants'
+        queued work.
+        """
+        sup = self.resilience
+        sup.cancel_retry(job.id)
+        self._seq += 1
+        job.load_state()
+        job.status = PENDING
+        job.log.emit("campaign_submitted", cells=len(job.spec.cells()),
+                     priority=job.spec.priority)
+        job.write_state()
+        tenant = getattr(job.spec, "tenant", "") or ""
+        self.metrics.counter("service.tenant.submitted",
+                             tenant=tenant or "default").inc()
+        while sup.queues.total() >= self.queue_limit \
+                or sup.queues.count(tenant) \
+                >= sup.policy.tenant_max_queued:
+            over_quota = sup.queues.count(tenant) \
+                >= sup.policy.tenant_max_queued
+            self.metrics.counter("campaign.backpressure").inc()
+            if over_quota:
+                self.metrics.counter(
+                    "service.tenant.backpressure",
+                    tenant=tenant or "default").inc()
+            drained = await self.run_next(
+                prefer_tenant=tenant if over_quota else None)
+            if drained is None:
+                break
+            if drained.status != RETRYING:
+                self._drained.append(drained)
+        sup.queues.push(tenant, (job.spec.priority, self._seq, job))
+        self.metrics.gauge("campaign.queue_depth").set(
+            sup.queues.total())
+        return job
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    async def run_next(self):
-        """Run the highest-priority queued job; None when queue empty."""
+    async def run_next(self, prefer_tenant=None):
+        """Run the highest-priority queued job; None when queue empty.
+
+        Under supervision the pop comes from the weighted tenant
+        queues, and ``prefer_tenant`` forces a specific tenant's queue
+        (the quota-backpressure path).  Without a supervisor the
+        argument is accepted and ignored.
+        """
+        if self.resilience is not None:
+            item = self.resilience.queues.pop(prefer=prefer_tenant)
+            if item is None:
+                return None
+            _, _, job = item
+            self.metrics.gauge("campaign.queue_depth").set(
+                self.resilience.queues.total())
+            await self.run_job(job)
+            return job
         queue = self._live_queue()
         if queue.empty():
             return None
@@ -249,13 +319,26 @@ class CampaignScheduler:
         Returns every job finished since the previous call — including
         jobs a full-queue ``submit`` already drained inline, so
         callers like ``serve(once=True)`` report the complete set.
+        Under supervision, parked retries are then un-parked in due-
+        round order and re-run until every campaign is terminal (the
+        backoff clock fast-forwards; an idle scheduler never sleeps),
+        and the supervision record is flushed before returning.
         """
         done, self._drained = self._drained, []
         while True:
             job = await self.run_next()
             if job is None:
+                if self.resilience is not None:
+                    retry = self.resilience.next_retry_job()
+                    if retry is not None:
+                        await self.run_job(retry)
+                        if retry.status != RETRYING:
+                            done.append(retry)
+                        continue
+                    self.resilience.save_state()
                 return done
-            done.append(job)
+            if job.status != RETRYING:
+                done.append(job)
 
     async def run_job(self, job):
         """Execute one campaign: cache lookups, sharded misses, state.
@@ -274,7 +357,9 @@ class CampaignScheduler:
         digests = [cell_digest(cell) for cell in cells]
         metrics.counter("campaign.cells_total").inc(len(cells))
 
+        sup = self.resilience
         pending, seen, hits_now = [], set(), 0
+        quarantined_now, deferred_now = 0, 0
         for cell, digest in zip(cells, digests):
             if digest in seen:
                 continue  # duplicate axes derive one cell, once
@@ -282,6 +367,17 @@ class CampaignScheduler:
             prior = job.cells.get(digest)
             if prior is not None and prior["status"] == CELL_OK:
                 continue  # already finished in a previous attempt
+            if sup is not None and sup.is_quarantined(digest):
+                job.cells[digest] = {
+                    "cell": cell, "status": CELL_QUARANTINED,
+                    "source": SOURCE_QUARANTINE, "retried": False,
+                    "error": "digest quarantined (release to re-run)"}
+                metrics.counter("service.quarantine.skipped").inc()
+                quarantined_now += 1
+                continue
+            if sup is not None and not sup.eligible(job.id, digest):
+                deferred_now += 1
+                continue  # backoff not elapsed; prior entry stands
             payload = self.store.get(digest)
             if payload is not None:
                 job.cells[digest] = {
@@ -294,29 +390,50 @@ class CampaignScheduler:
                 pending.append((cell, digest))
         if hits_now:
             job.log.emit("cache_hits", hits=hits_now)
+        if quarantined_now:
+            job.log.emit("quarantine_skipped", cells=quarantined_now)
+        if deferred_now:
+            job.log.emit("cells_deferred", cells=deferred_now)
         job.write_state()
 
         for base in range(0, len(pending), self.shard_cells):
             shard = pending[base:base + self.shard_cells]
+            if sup is not None:
+                shard_timeout, watchdog = sup.shard_timeout(
+                    [digest for _, digest in shard], self.timeout)
+            else:
+                shard_timeout, watchdog = self.timeout, False
             records = await asyncio.to_thread(
                 run_checkpointed, [cell for cell, _ in shard],
                 f"campaign-{job.id}", jobs=self.jobs,
-                timeout=self.timeout, out_dir=self.checkpoint_dir,
+                timeout=shard_timeout, out_dir=self.checkpoint_dir,
                 fallback_fresh=True)
             for (cell, digest), record in zip(shard, records):
                 source = (SOURCE_CHECKPOINT if record.from_checkpoint
                           else SOURCE_EXECUTED)
-                job.cells[digest] = {
-                    "cell": cell, "status": record.status,
-                    "source": source, "retried": record.retried,
-                    "error": record.error}
+                status, error = record.status, record.error
+                if watchdog and status == CELL_TIMEOUT:
+                    status = CELL_HUNG
+                    error = f"watchdog: {error}"
+                    metrics.counter("service.hung").inc()
                 if record.status == CELL_OK:
                     self.store.put(cell, record.status,
                                    record.summary, record.error)
+                    if sup is not None \
+                            and not record.from_checkpoint:
+                        sup.record_success(digest, record.elapsed)
+                if sup is not None and not record.from_checkpoint:
+                    status = sup.classify_record(
+                        job, digest, cell, status, record.retried,
+                        error)
+                job.cells[digest] = {
+                    "cell": cell, "status": status,
+                    "source": source, "retried": record.retried,
+                    "error": error}
+                if status == CELL_OK:
                     metrics.counter("campaign.cells_ok").inc()
                 else:
-                    metrics.counter(
-                        "campaign.cells_" + record.status).inc()
+                    metrics.counter("campaign.cells_" + status).inc()
                 if record.retried:
                     metrics.counter("campaign.cells_retried").inc()
             metrics.counter("campaign.shards").inc()
@@ -328,13 +445,22 @@ class CampaignScheduler:
 
         counts = job.counts()
         metrics.counter("campaign.executed").inc(counts["executed"])
-        job.status = COMPLETED if counts["ok"] == counts["total"] \
-            else FAILED
-        job.log.emit("campaign_done", status=job.status,
-                     cache_hits=counts["cache_hits"],
-                     executed=counts["executed"],
-                     failed=counts["failed"],
-                     timeout=counts[CELL_TIMEOUT])
+        if sup is not None:
+            job.status = sup.finish(job)
+        else:
+            job.status = COMPLETED if counts["ok"] == counts["total"] \
+                else FAILED
+        if job.status == RETRYING:
+            open_cells = sum(
+                1 for entry in job.cells.values()
+                if entry["status"] not in (CELL_OK, CELL_QUARANTINED))
+            job.log.emit("campaign_parked", open_cells=open_cells)
+        else:
+            job.log.emit("campaign_done", status=job.status,
+                         cache_hits=counts["cache_hits"],
+                         executed=counts["executed"],
+                         failed=counts["failed"],
+                         timeout=counts[CELL_TIMEOUT])
         job.write_state()
         if job.status == COMPLETED:
             # fully absorbed into the store + state; drop the grid

@@ -24,6 +24,8 @@ import os
 
 from repro.eval.report import results_dir
 from repro.service.arrival import make_arrival
+from repro.service.resilience import (RETRYING, ResiliencePolicy,
+                                      ResilienceSupervisor)
 from repro.service.scheduler import (CAMPAIGN_FORMAT, COMPLETED,
                                      FAILED, PENDING, RUNNING,
                                      CampaignScheduler)
@@ -46,16 +48,30 @@ class CampaignService:
     """
 
     def __init__(self, root=None, jobs=None, timeout=None,
-                 shard_cells=None, queue_limit=64, metrics=None):
+                 shard_cells=None, queue_limit=64, metrics=None,
+                 resilience=None):
         self.root = root or os.path.join(results_dir(), "service")
         self.inbox_dir = os.path.join(self.root, "inbox")
         self.campaigns_dir = os.path.join(self.root, "campaigns")
         self.store = ResultStore(os.path.join(self.root, "store"))
+        #: Optional supervision layer.  ``resilience`` accepts a
+        #: :class:`~repro.service.resilience.ResiliencePolicy` (custom
+        #: knobs) or any truthy value (default policy); falsy keeps
+        #: the PR 8 fail-fast semantics.  The supervisor's state lives
+        #: under the service root, so a restarted service resumes
+        #: retry counts and the quarantine set.
+        self.resilience = None
+        if resilience:
+            policy = resilience if isinstance(
+                resilience, ResiliencePolicy) else None
+            self.resilience = ResilienceSupervisor(
+                self.root, policy=policy)
         self.scheduler = CampaignScheduler(
             store=self.store, state_dir=self.campaigns_dir,
             checkpoint_dir=os.path.join(self.root, "checkpoints"),
             jobs=jobs, timeout=timeout, shard_cells=shard_cells,
-            queue_limit=queue_limit, metrics=metrics)
+            queue_limit=queue_limit, metrics=metrics,
+            resilience=self.resilience)
         for directory in (self.inbox_dir, self.campaigns_dir):
             os.makedirs(directory, exist_ok=True)
 
@@ -208,7 +224,8 @@ class CampaignService:
             if not fname.endswith(".json"):
                 continue
             state = self.status(fname[:-len(".json")])
-            if state and state.get("status") in (PENDING, RUNNING):
+            if state and state.get("status") in (PENDING, RUNNING,
+                                                 RETRYING):
                 out.append(state["id"])
         return out
 
@@ -227,15 +244,24 @@ class CampaignService:
             jobs.append(job)
         return jobs
 
-    async def serve(self, once=False, poll=0.2):
+    async def serve(self, once=False, poll=0.2, drain=False):
         """The service loop: resume, poll inbox, drain, repeat.
 
         ``once=True`` processes everything currently waiting and
-        returns the finished jobs (CI smoke / tests); otherwise loop
-        forever, sleeping ``poll`` seconds between empty polls.
+        returns the finished jobs (CI smoke / tests).  ``drain=True``
+        is graceful shutdown: no new inbox work is accepted —
+        interrupted campaigns resume, parked retries run until every
+        campaign is terminal, and the supervision record is flushed
+        before returning.  Otherwise loop forever, sleeping ``poll``
+        seconds between empty polls.
         """
         done = []
         await self.resume_incomplete()
+        if drain:
+            done.extend(await self.scheduler.run_pending())
+            if self.resilience is not None:
+                self.resilience.save_state()
+            return done
         while True:
             await self.poll_inbox()
             done.extend(await self.scheduler.run_pending())

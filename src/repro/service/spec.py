@@ -66,6 +66,11 @@ class CampaignSpec:
     #: Lower runs sooner (asyncio.PriorityQueue ordering).
     priority: int = 0
     name: str = ""
+    #: Submitting tenant (quota + fairness identity under the
+    #: resilience layer; empty = the anonymous default tenant).
+    #: Deliberately *not* part of any cell — two tenants requesting
+    #: the same cell share one cached result.
+    tenant: str = ""
     #: Schedule-perturbation policy for ``fuzz`` campaigns.
     policy: str = "random"
     #: Fault-rate intensity for ``chaos`` campaigns (see
@@ -121,6 +126,8 @@ class CampaignSpec:
             raise CampaignSpecError(f"bad scale {self.scale!r}")
         if not isinstance(self.priority, int):
             raise CampaignSpecError(f"bad priority {self.priority!r}")
+        if not isinstance(self.tenant, str):
+            raise CampaignSpecError(f"bad tenant {self.tenant!r}")
         if self.arrival is not None:
             if not isinstance(self.arrival, dict):
                 raise CampaignSpecError(
@@ -175,7 +182,8 @@ class CampaignSpec:
                 "configs": [dict(c) for c in self.configs],
                 "seeds": list(self.seeds), "scale": self.scale,
                 "nthreads": self.nthreads, "priority": self.priority,
-                "name": self.name, "policy": self.policy,
+                "name": self.name, "tenant": self.tenant,
+                "policy": self.policy,
                 "fault_intensity": self.fault_intensity,
                 "arrival": self.arrival, "meta": dict(self.meta)}
 

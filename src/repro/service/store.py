@@ -101,13 +101,23 @@ class ResultStore:
         self.root = root or os.path.join(results_dir(), "store")
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def path(self, digest):
         """Where the entry for ``digest`` lives."""
         return os.path.join(self.root, digest[:2], f"{digest}.json")
 
     def get(self, digest):
-        """The cached result payload for ``digest``, or None (miss)."""
+        """The cached result payload for ``digest``, or None (miss).
+
+        Integrity is verified before serving: the entry's recorded
+        digest must match the requested one and the payload must
+        re-hash to the entry's ``payload_sha256`` (written by
+        :meth:`put`).  A well-formed entry that fails either check —
+        a file planted under the wrong name, a payload edited after
+        the fact, a pre-checksum entry — is *evicted* and counted as
+        a miss rather than served as a corrupt hit.
+        """
         path = self.path(digest)
         try:
             with open(path) as fh:
@@ -119,8 +129,22 @@ class ResultStore:
                 or data.get("format") != STORE_FORMAT:
             self.misses += 1
             return None
+        result = data.get("result")
+        intact = (data.get("digest") == digest
+                  and isinstance(result, dict)
+                  and data.get("payload_sha256")
+                  == hashlib.sha256(
+                      payload_bytes(result)).hexdigest())
+        if not intact:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.evictions += 1
+            self.misses += 1
+            return None
         self.hits += 1
-        return data.get("result")
+        return result
 
     def has(self, digest):
         """Whether ``digest`` resolves (without counting a hit/miss)."""
@@ -137,9 +161,12 @@ class ResultStore:
         digest = cell_digest(cell)
         path = self.path(digest)
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        result = result_payload(status, summary, error)
         entry = {"format": STORE_FORMAT, "digest": digest,
                  "key": json.loads(canonical_form(cell)),
-                 "result": result_payload(status, summary, error)}
+                 "payload_sha256": hashlib.sha256(
+                     payload_bytes(result)).hexdigest(),
+                 "result": result}
         tmp = path + ".tmp"
         with open(tmp, "w") as fh:
             json.dump(entry, fh, indent=1, sort_keys=True)
@@ -157,4 +184,4 @@ class ResultStore:
                     entries += sum(1 for f in os.listdir(shard_dir)
                                    if f.endswith(".json"))
         return {"hits": self.hits, "misses": self.misses,
-                "entries": entries}
+                "evictions": self.evictions, "entries": entries}

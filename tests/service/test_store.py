@@ -97,6 +97,70 @@ class TestPutGet:
         assert leftovers == []
 
 
+class TestIntegrity:
+    def test_tampered_payload_is_evicted(self, tmp_path):
+        store = store_in(tmp_path)
+        path = store.put(CELL, CELL_OK, {"cycles": 123})
+        entry = json.load(open(path))
+        entry["result"]["summary"]["cycles"] = 999  # bit-rot / edit
+        json.dump(entry, open(path, "w"))
+
+        assert store.get(cell_digest(CELL)) is None
+        assert store.evictions == 1 and store.misses == 1
+        assert not os.path.exists(path)  # evicted, not just skipped
+        # and a re-put repairs it
+        store.put(CELL, CELL_OK, {"cycles": 123})
+        payload = store.get(cell_digest(CELL))
+        assert payload["summary"] == {"cycles": 123}
+
+    def test_entry_planted_under_wrong_name_is_evicted(self, tmp_path):
+        store = store_in(tmp_path)
+        path = store.put(CELL, CELL_OK, {"cycles": 1})
+        other = cell_digest(dict(CELL, scale=0.1))
+        wrong = store.path(other)
+        os.makedirs(os.path.dirname(wrong), exist_ok=True)
+        open(wrong, "w").write(open(path).read())
+
+        # recorded digest disagrees with the requested one
+        assert store.get(other) is None
+        assert store.evictions == 1
+        assert not os.path.exists(wrong)
+        # the honest entry still serves
+        assert store.get(cell_digest(CELL)) is not None
+
+    def test_pre_checksum_entry_is_evicted(self, tmp_path):
+        store = store_in(tmp_path)
+        path = store.put(CELL, CELL_OK, {"cycles": 1})
+        entry = json.load(open(path))
+        del entry["payload_sha256"]
+        json.dump(entry, open(path, "w"))
+        assert store.get(cell_digest(CELL)) is None
+        assert store.evictions == 1
+
+    def test_wrong_format_is_a_miss_but_not_evicted(self, tmp_path):
+        # a foreign file is not ours to delete; only correctly-tagged
+        # entries that fail their own integrity checks get evicted
+        store = store_in(tmp_path)
+        path = store.put(CELL, CELL_OK, {"cycles": 1})
+        entry = json.load(open(path))
+        entry["format"] = "other/1"
+        json.dump(entry, open(path, "w"))
+        assert store.get(cell_digest(CELL)) is None
+        assert store.evictions == 0
+        assert os.path.exists(path)
+
+    def test_stats_reports_evictions(self, tmp_path):
+        store = store_in(tmp_path)
+        assert store.stats()["evictions"] == 0
+        path = store.put(CELL, CELL_OK, {})
+        open(path, "a").write(" ")  # payload fine, but rewrite it
+        entry = json.load(open(path))
+        entry["payload_sha256"] = "0" * 64
+        json.dump(entry, open(path, "w"))
+        store.get(cell_digest(CELL))
+        assert store.stats()["evictions"] == 1
+
+
 class TestPayloadBytes:
     def test_canonical_and_order_free(self):
         a = payload_bytes({"status": "ok", "summary": {"x": 1}})
